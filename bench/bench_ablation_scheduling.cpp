@@ -1,0 +1,97 @@
+// Ablation A1: shard-to-GPU scheduling policy. DESIGN.md calls out the
+// load-balancing scheme as a core contribution; this bench compares the
+// static greedy (LPT) assignment, dynamic earliest-idle dispatch, and a
+// naive contiguous split on the two most skewed tensors. Expectation:
+// greedy ~ dynamic << contiguous imbalance on skewed data.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+struct Outcome {
+  double seconds = 0.0;
+  double overhead = 0.0;
+};
+
+std::map<std::string, std::map<std::string, Outcome>>& results() {
+  static std::map<std::string, std::map<std::string, Outcome>> r;
+  return r;
+}
+
+const std::vector<std::string> kDatasets{"reddit", "twitch"};
+
+void run_policy(benchmark::State& state, const std::string& ds_name,
+                SchedulingPolicy policy) {
+  const auto& ds = dataset(ds_name);
+  auto factors = make_factors(ds);
+  AmpedBuildOptions build;
+  build.num_gpus = 4;
+  auto tensor = AmpedTensor::build(ds.tensor, build);
+  MttkrpOptions opt;
+  opt.full_dims = ds.profile.full_dims;
+  opt.policy = policy;
+
+  Outcome outcome;
+  for (auto _ : state) {
+    auto platform = make_platform(4);
+    std::vector<DenseMatrix> outputs;
+    auto report = mttkrp_all_modes(platform, tensor, factors, outputs, opt);
+    outcome.seconds = extrapolate(report.total_seconds);
+    outcome.overhead = report.compute_overhead_fraction();
+  }
+  results()[ds_name][to_string(policy)] = outcome;
+  state.counters["full_scale_s"] = outcome.seconds;
+  state.counters["imbalance_pct"] = 100.0 * outcome.overhead;
+}
+
+void register_all() {
+  for (const auto& ds : kDatasets) {
+    for (auto policy :
+         {SchedulingPolicy::kStaticGreedy, SchedulingPolicy::kDynamicQueue,
+          SchedulingPolicy::kContiguous}) {
+      const std::string name = "ablation_sched/" + ds + "/" +
+                               to_string(policy);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [ds, policy](benchmark::State& s) {
+                                     run_policy(s, ds, policy);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Ablation A1: shard scheduling policy (4 GPUs) ===\n");
+  for (const auto& ds : kDatasets) {
+    for (const auto& [policy, o] : results()[ds]) {
+      print_row("A1", ds, policy + " time", o.seconds, "s");
+      print_row("A1", ds, policy + " EC imbalance", 100.0 * o.overhead,
+                "%");
+    }
+  }
+  std::printf("\nexpected shape: static-greedy and dynamic-queue are "
+              "nearly equivalent (imbalance a few %% at most); contiguous "
+              "assignment concentrates skewed shards and loses both time "
+              "and balance.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A4: threadblock geometry. The paper fixes P = theta = 32 and
+// R = 32 (§5.1.5). Sweeps the threadblock width P (nonzeros loaded in
+// parallel per block) and the rank R on the Amazon profile: P below 32
+// leaves SM lanes idle; time grows with R as every factor row widens.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+const std::vector<nnz_t> kWidths{4, 8, 16, 32, 64};
+const std::vector<std::size_t> kRanks{8, 16, 32, 64};
+
+std::map<std::string, double>& results() {
+  static std::map<std::string, double> r;
+  return r;
+}
+
+void run_config(benchmark::State& state, nnz_t width, std::size_t rank) {
+  const auto& ds = dataset("amazon");
+  Rng rng(1234);
+  FactorSet factors(ds.tensor.dims(), rank, rng);
+  AmpedBuildOptions build;
+  build.num_gpus = 4;
+  auto tensor = AmpedTensor::build(ds.tensor, build);
+  MttkrpOptions opt;
+  opt.full_dims = ds.profile.full_dims;
+  opt.block_width = width;
+
+  double seconds = 0.0;
+  for (auto _ : state) {
+    auto platform = make_platform(4);
+    std::vector<DenseMatrix> outputs;
+    auto report = mttkrp_all_modes(platform, tensor, factors, outputs, opt);
+    seconds = extrapolate(report.total_seconds);
+  }
+  results()["P" + std::to_string(width) + "_R" + std::to_string(rank)] =
+      seconds;
+  state.counters["full_scale_s"] = seconds;
+}
+
+void register_all() {
+  for (nnz_t width : kWidths) {
+    const std::string name = "ablation_tb/amazon/P:" + std::to_string(width) +
+                             "/R:32";
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [width](benchmark::State& s) {
+                                   run_config(s, width, 32);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  for (std::size_t rank : kRanks) {
+    const std::string name =
+        "ablation_tb/amazon/P:32/R:" + std::to_string(rank);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [rank](benchmark::State& s) {
+                                   run_config(s, 32, rank);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Ablation A4: threadblock geometry on Amazon ===\n");
+  std::printf("width sweep (R = 32):\n");
+  for (nnz_t w : kWidths) {
+    print_row("A4", "amazon", "P=" + std::to_string(w),
+              results()["P" + std::to_string(w) + "_R32"], "s");
+  }
+  std::printf("rank sweep (P = 32):\n");
+  for (std::size_t r : kRanks) {
+    print_row("A4", "amazon", "R=" + std::to_string(r),
+              results()["P32_R" + std::to_string(r)], "s");
+  }
+  std::printf("\nexpected shape: P = 32 saturates the SM (the paper's "
+              "theta); time grows roughly linearly in R.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

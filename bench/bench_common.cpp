@@ -1,0 +1,63 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amped::bench {
+
+double bench_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("AMPED_BENCH_SCALE")) {
+      const double v = std::strtod(env, nullptr);
+      if (v >= 1.0) return v;
+    }
+    return 2000.0;
+  }();
+  return scale;
+}
+
+const ScaledDataset& dataset(const std::string& name) {
+  static std::map<std::string, ScaledDataset> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(name,
+                      generate_scaled(profile_by_name(name), bench_scale()))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names{"amazon", "patents", "reddit",
+                                              "twitch"};
+  return names;
+}
+
+sim::Platform make_platform(int gpus) {
+  return sim::make_default_platform(gpus, bench_scale());
+}
+
+FactorSet make_factors(const ScaledDataset& ds, std::size_t rank) {
+  Rng rng(ds.profile.seed ^ 0xFAC70ULL);
+  return FactorSet(ds.tensor.dims(), rank, rng);
+}
+
+baselines::BaselineOptions make_options(const ScaledDataset& ds,
+                                        bool collect_outputs) {
+  baselines::BaselineOptions opt;
+  opt.workload = baselines::WorkloadInfo::from_dataset(ds);
+  opt.collect_outputs = collect_outputs;
+  return opt;
+}
+
+double extrapolate(double sim_seconds) { return sim_seconds * bench_scale(); }
+
+void print_row(const std::string& figure, const std::string& dataset,
+               const std::string& series, double value,
+               const std::string& unit) {
+  std::printf("[%s] %-8s %-22s %12.4f %s\n", figure.c_str(), dataset.c_str(),
+              series.c_str(), value, unit.c_str());
+}
+
+}  // namespace amped::bench

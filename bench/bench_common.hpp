@@ -1,0 +1,48 @@
+// Shared workload setup for the figure benchmarks.
+//
+// Every bench runs the Table 3 profiles at BENCH_SCALE (override with the
+// AMPED_BENCH_SCALE environment variable). Simulated seconds are reported
+// both raw and extrapolated to full scale (raw x scale): the simulator's
+// fixed costs are divided by the scale factor, so extrapolation is exact,
+// not a heuristic (see sim/platform.hpp).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/runner.hpp"
+#include "sim/platform.hpp"
+#include "tensor/generator.hpp"
+
+namespace amped::bench {
+
+// Default nnz reduction factor for benchmarks (1.7B -> 850K etc.).
+double bench_scale();
+
+// Cached scaled dataset (generating billions of draws once per binary).
+const ScaledDataset& dataset(const std::string& name);
+
+// All Table 3 names in paper order.
+const std::vector<std::string>& dataset_names();
+
+// Platform for `gpus` devices under the bench scale.
+sim::Platform make_platform(int gpus);
+
+// Deterministic factor set for a dataset at the paper's default R = 32.
+FactorSet make_factors(const ScaledDataset& ds, std::size_t rank = 32);
+
+// Baseline options carrying the dataset's full-scale workload info.
+baselines::BaselineOptions make_options(const ScaledDataset& ds,
+                                        bool collect_outputs = false);
+
+// raw simulated seconds -> full-scale seconds.
+double extrapolate(double sim_seconds);
+
+// Prints one paper-style table row to stdout (also mirrored into the
+// benchmark counters by callers).
+void print_row(const std::string& figure, const std::string& dataset,
+               const std::string& series, double value,
+               const std::string& unit);
+
+}  // namespace amped::bench

@@ -1,0 +1,118 @@
+// Figure 5: total execution time (all modes, one MTTKRP sweep) of AMPED on
+// 4 GPUs vs. the state-of-the-art single-GPU baselines, per Table 3
+// dataset. Prints the paper-style table with per-baseline speedups and the
+// geometric-mean speedup over best-available baselines at the end.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+struct Outcome {
+  bool supported = false;
+  std::string reason;
+  double seconds = 0.0;  // extrapolated full-scale seconds
+};
+
+std::map<std::string, std::map<std::string, Outcome>>& results() {
+  static std::map<std::string, std::map<std::string, Outcome>> r;
+  return r;
+}
+
+const std::vector<std::string> kImpls{"amped",     "blco",      "mm-csf",
+                                      "hicoo-gpu", "parti-gpu", "flycoo-gpu"};
+
+void run_impl(benchmark::State& state, const std::string& ds_name,
+              const std::string& impl) {
+  const auto& ds = dataset(ds_name);
+  auto factors = make_factors(ds);
+  auto options = make_options(ds);
+  Outcome outcome;
+  for (auto _ : state) {
+    auto platform = make_platform(impl == "amped" ? 4 : 1);
+    auto result =
+        baselines::run_baseline(impl, platform, ds.tensor, factors, options);
+    outcome.supported = result.supported;
+    outcome.reason = result.failure_reason;
+    outcome.seconds = extrapolate(result.total_seconds);
+  }
+  results()[ds_name][impl] = outcome;
+  if (outcome.supported) {
+    state.counters["full_scale_s"] = outcome.seconds;
+  } else {
+    state.SkipWithError(outcome.reason.c_str());
+  }
+}
+
+void register_all() {
+  for (const auto& ds : dataset_names()) {
+    for (const auto& impl : kImpls) {
+      const std::string name = "fig5/" + ds + "/" + impl;
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [ds, impl](benchmark::State& s) {
+                                     run_impl(s, ds, impl);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 5: total execution time, R=32, 4 GPUs ===\n");
+  std::printf("(full-scale seconds; 'runtime error' = exceeds 48 GB or "
+              "unsupported mode count, as in the paper)\n");
+  std::vector<double> speedups_vs_best;
+  std::vector<double> speedups_vs_blco;
+  for (const auto& ds : dataset_names()) {
+    const auto& row = results()[ds];
+    const double amped_s = row.at("amped").seconds;
+    print_row("fig5", ds, "amped (4 GPUs)", amped_s, "s");
+    std::optional<double> best_baseline;
+    for (const auto& impl : kImpls) {
+      if (impl == "amped") continue;
+      const auto& o = row.at(impl);
+      if (!o.supported) {
+        std::printf("[fig5] %-8s %-22s %12s (%s)\n", ds.c_str(),
+                    impl.c_str(), "n/a", o.reason.c_str());
+        continue;
+      }
+      print_row("fig5", ds, impl + " (1 GPU)", o.seconds, "s");
+      print_row("fig5", ds, "  speedup vs " + impl, o.seconds / amped_s,
+                "x");
+      if (impl == "blco") speedups_vs_blco.push_back(o.seconds / amped_s);
+      if (!best_baseline || o.seconds < *best_baseline) {
+        best_baseline = o.seconds;
+      }
+    }
+    if (best_baseline) {
+      speedups_vs_best.push_back(*best_baseline / amped_s);
+    }
+  }
+  std::printf("\n[fig5] geomean speedup vs BLCO:          %.2fx (paper: "
+              "5.1x)\n",
+              geomean(speedups_vs_blco));
+  std::printf("[fig5] geomean speedup vs best baseline: %.2fx (paper "
+              "reports 5.1x vs state of the art; FLYCOO-GPU wins Twitch "
+              "by 3.9x there)\n",
+              geomean(speedups_vs_best));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 6: impact of the proposed partitioning scheme. Compares AMPED's
+// output-index sharding against distributing nonzeros equally among GPUs
+// (which forces per-element intermediate values to be merged on the host
+// CPU, §5.3). The paper reports 5.3x-10.3x speedups, geomean 8.2x.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+std::map<std::string, std::map<std::string, double>>& results() {
+  static std::map<std::string, std::map<std::string, double>> r;
+  return r;
+}
+
+void run_impl(benchmark::State& state, const std::string& ds_name,
+              const std::string& impl) {
+  const auto& ds = dataset(ds_name);
+  auto factors = make_factors(ds);
+  auto options = make_options(ds);
+  double seconds = 0.0;
+  for (auto _ : state) {
+    auto platform = make_platform(4);
+    auto result =
+        baselines::run_baseline(impl, platform, ds.tensor, factors, options);
+    seconds = extrapolate(result.total_seconds);
+  }
+  results()[ds_name][impl] = seconds;
+  state.counters["full_scale_s"] = seconds;
+}
+
+void register_all() {
+  for (const auto& ds : dataset_names()) {
+    for (const std::string impl : {"amped", "equal-nnz"}) {
+      const std::string name = "fig6/" + ds + "/" + impl;
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [ds, impl](benchmark::State& s) {
+                                     run_impl(s, ds, impl);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 6: impact of the partitioning scheme (4 GPUs) "
+              "===\n");
+  std::vector<double> speedups;
+  for (const auto& ds : dataset_names()) {
+    const double amped_s = results()[ds]["amped"];
+    const double equal_s = results()[ds]["equal-nnz"];
+    print_row("fig6", ds, "amped sharding", amped_s, "s");
+    print_row("fig6", ds, "equal-nnz + host merge", equal_s, "s");
+    print_row("fig6", ds, "  speedup", equal_s / amped_s, "x");
+    speedups.push_back(equal_s / amped_s);
+  }
+  std::printf("\n[fig6] speedup range: %.1fx - %.1fx (paper: 5.3x - "
+              "10.3x); geomean %.1fx (paper: 8.2x)\n",
+              min_of(speedups), max_of(speedups), geomean(speedups));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 7: execution time breakdown of the input tensors — how AMPED's
+// total splits into elementwise computation, host-to-GPU shard streaming,
+// GPU-to-GPU factor exchange, and barrier stalls. The paper highlights
+// Reddit's communication share (32%) and that H2D dominates communication
+// for the large tensors (Patents, Reddit) while tensors with many indices
+// (Amazon, Twitch) see a heavy GPU-GPU share.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+struct Breakdown {
+  double compute = 0, h2d = 0, p2p = 0, sync = 0;
+  double total() const { return compute + h2d + p2p + sync; }
+};
+
+std::map<std::string, Breakdown>& results() {
+  static std::map<std::string, Breakdown> r;
+  return r;
+}
+
+void run_breakdown(benchmark::State& state, const std::string& ds_name) {
+  const auto& ds = dataset(ds_name);
+  auto factors = make_factors(ds);
+  AmpedBuildOptions build;
+  build.num_gpus = 4;
+  auto tensor = AmpedTensor::build(ds.tensor, build);
+  MttkrpOptions opt;
+  opt.full_dims = ds.profile.full_dims;
+
+  Breakdown bd;
+  for (auto _ : state) {
+    auto platform = make_platform(4);
+    std::vector<DenseMatrix> outputs;
+    auto report = mttkrp_all_modes(platform, tensor, factors, outputs, opt);
+    bd = Breakdown{};
+    for (const auto& m : report.modes) {
+      bd.compute += m.compute;
+      bd.h2d += m.h2d;
+      bd.p2p += m.p2p;
+      bd.sync += m.sync;
+    }
+  }
+  results()[ds_name] = bd;
+  state.counters["comm_pct"] = 100.0 * (bd.h2d + bd.p2p) / bd.total();
+}
+
+void register_all() {
+  for (const auto& ds : dataset_names()) {
+    const std::string name = "fig7/" + ds;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [ds](benchmark::State& s) { run_breakdown(s, ds); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 7: execution time breakdown (share of summed "
+              "GPU time) ===\n");
+  std::printf("%-8s %10s %10s %10s %10s | comm total\n", "tensor", "compute",
+              "h2d", "gpu-gpu", "sync");
+  for (const auto& ds : dataset_names()) {
+    const auto& bd = results()[ds];
+    const double t = bd.total();
+    std::printf("%-8s %9.1f%% %9.1f%% %9.1f%% %9.1f%% | %9.1f%%\n",
+                ds.c_str(), 100 * bd.compute / t, 100 * bd.h2d / t,
+                100 * bd.p2p / t, 100 * bd.sync / t,
+                100 * (bd.h2d + bd.p2p) / t);
+  }
+  std::printf("\npaper shape: H2D is the major communication term for "
+              "Patents/Reddit; Amazon and Twitch have heavy GPU-GPU "
+              "shares; Reddit's total communication is significant "
+              "(paper: 32%%).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

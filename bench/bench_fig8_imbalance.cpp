@@ -1,0 +1,82 @@
+// Figure 8: computation time overhead among GPUs — (max - min) per-GPU
+// elementwise-computation time as a percentage of the total EC time across
+// all 4 GPUs and all modes (§5.5). The paper reports < 1% for every
+// billion-scale tensor, with Twitch worst because popular streamers/games
+// concentrate nonzeros on a few output indices.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+std::map<std::string, double>& results() {
+  static std::map<std::string, double> r;
+  return r;
+}
+
+void run_imbalance(benchmark::State& state, const std::string& ds_name) {
+  const auto& ds = dataset(ds_name);
+  auto factors = make_factors(ds);
+  AmpedBuildOptions build;
+  build.num_gpus = 4;
+  auto tensor = AmpedTensor::build(ds.tensor, build);
+  MttkrpOptions opt;
+  opt.full_dims = ds.profile.full_dims;
+
+  double overhead = 0.0;
+  for (auto _ : state) {
+    auto platform = make_platform(4);
+    std::vector<DenseMatrix> outputs;
+    auto report = mttkrp_all_modes(platform, tensor, factors, outputs, opt);
+    overhead = report.compute_overhead_fraction();
+  }
+  results()[ds_name] = overhead;
+  state.counters["overhead_pct"] = 100.0 * overhead;
+}
+
+void register_all() {
+  for (const auto& ds : dataset_names()) {
+    const std::string name = "fig8/" + ds;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [ds](benchmark::State& s) { run_imbalance(s, ds); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 8: computation time overhead among GPUs ===\n");
+  double worst = 0.0;
+  std::string worst_name;
+  for (const auto& ds : dataset_names()) {
+    const double pct = 100.0 * results()[ds];
+    print_row("fig8", ds, "(max-min)/total EC", pct, "%");
+    if (pct > worst) {
+      worst = pct;
+      worst_name = ds;
+    }
+  }
+  std::printf("\n[fig8] worst: %s at %.2f%% (paper: all < 1%%, Twitch "
+              "worst due to popular-streamer hot indices)\n",
+              worst_name.c_str(), worst);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

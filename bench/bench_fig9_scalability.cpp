@@ -1,0 +1,80 @@
+// Figure 9: scalability of the proposed algorithm — total execution time
+// speedup of each tensor as the GPU count grows 1 -> 4. The paper reports
+// geometric-mean speedups of 1.9x / 2.3x / 3.3x at 2 / 3 / 4 GPUs, with
+// near-linear growth. The single-GPU configuration streams tensor shards
+// one at a time, like the paper's.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+std::map<std::string, std::map<int, double>>& results() {
+  static std::map<std::string, std::map<int, double>> r;
+  return r;
+}
+
+void run_gpus(benchmark::State& state, const std::string& ds_name,
+              int gpus) {
+  const auto& ds = dataset(ds_name);
+  auto factors = make_factors(ds);
+  auto options = make_options(ds);
+  double seconds = 0.0;
+  for (auto _ : state) {
+    auto platform = make_platform(gpus);
+    auto result = baselines::run_amped(platform, ds.tensor, factors, options);
+    seconds = extrapolate(result.total_seconds);
+  }
+  results()[ds_name][gpus] = seconds;
+  state.counters["full_scale_s"] = seconds;
+}
+
+void register_all() {
+  for (const auto& ds : dataset_names()) {
+    for (int gpus : {1, 2, 3, 4}) {
+      const std::string name =
+          "fig9/" + ds + "/gpus:" + std::to_string(gpus);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [ds, gpus](benchmark::State& s) {
+                                     run_gpus(s, ds, gpus);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 9: scalability (speedup vs 1 GPU) ===\n");
+  std::printf("%-8s %8s %8s %8s\n", "tensor", "2 GPUs", "3 GPUs", "4 GPUs");
+  std::map<int, std::vector<double>> per_count;
+  for (const auto& ds : dataset_names()) {
+    const auto& row = results()[ds];
+    const double base = row.at(1);
+    std::printf("%-8s %7.2fx %7.2fx %7.2fx\n", ds.c_str(),
+                base / row.at(2), base / row.at(3), base / row.at(4));
+    for (int g : {2, 3, 4}) per_count[g].push_back(base / row.at(g));
+  }
+  std::printf("\n[fig9] geomean speedups: %.2fx / %.2fx / %.2fx at 2/3/4 "
+              "GPUs (paper: 1.9x / 2.3x / 3.3x)\n",
+              geomean(per_count[2]), geomean(per_count[3]),
+              geomean(per_count[4]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table 3: characteristics of the sparse tensors. Regenerates each profile
+// at the bench scale and prints the full-scale shape / nonzero counts the
+// paper lists, plus the realised scaled-down shape and skew measurements
+// that validate the synthetic stand-ins.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace amped;
+using namespace amped::bench;
+
+double mode_gini(const CooTensor& t, std::size_t mode) {
+  std::vector<double> counts(t.dim(mode), 0.0);
+  for (index_t i : t.indices(mode)) counts[i] += 1.0;
+  return gini(counts);
+}
+
+void generation(benchmark::State& state, const std::string& name) {
+  for (auto _ : state) {
+    auto ds = generate_scaled(profile_by_name(name), bench_scale());
+    benchmark::DoNotOptimize(ds.tensor.nnz());
+    state.counters["nnz"] = static_cast<double>(ds.tensor.nnz());
+  }
+}
+
+void register_all() {
+  for (const auto& name : dataset_names()) {
+    const std::string bench_name = "table3/generate/" + name;
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [name](benchmark::State& s) { generation(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Table 3: characteristics of the sparse tensors ===\n");
+  std::printf("%-8s | %-42s | %12s | scaled (1/%.0f)\n", "tensor",
+              "full-scale shape", "elements", bench_scale());
+  for (const auto& name : dataset_names()) {
+    const auto& ds = dataset(name);
+    std::string shape;
+    for (std::size_t m = 0; m < ds.profile.full_dims.size(); ++m) {
+      if (m) shape += " x ";
+      shape += std::to_string(ds.profile.full_dims[m]);
+    }
+    std::printf("%-8s | %-42s | %12llu | %s\n", name.c_str(), shape.c_str(),
+                static_cast<unsigned long long>(ds.profile.full_nnz),
+                ds.tensor.shape_string().c_str());
+  }
+  std::printf("\nindex-popularity skew (Gini of per-index nonzero counts; "
+              "validates the Zipf profiles):\n");
+  for (const auto& name : dataset_names()) {
+    const auto& ds = dataset(name);
+    for (std::size_t m = 0; m < ds.tensor.num_modes(); ++m) {
+      print_row("table3", name, "gini mode " + std::to_string(m),
+                mode_gini(ds.tensor, m), "");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

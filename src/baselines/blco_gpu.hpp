@@ -1,0 +1,20 @@
+// BLCO baseline (Nguyen et al., ICS'22) — single GPU, out-of-memory
+// streaming execution, as configured in the paper's evaluation (§5.1.4:
+// "out-of-memory computation enabled").
+//
+// The tensor lives in host memory as blocked linearised coordinates; for
+// every output mode the full block stream crosses the single PCIe link
+// again, and the kernel pays de-linearisation ALU work plus unsorted
+// atomics on the two modes the linear order does not cluster. This is the
+// baseline AMPED's headline 5.1x geometric-mean speedup is measured
+// against.
+#pragma once
+
+#include "baselines/runner.hpp"
+
+namespace amped::baselines {
+
+// Kernel characteristics of the BLCO GPU kernel, exposed for the tests.
+sim::KernelProfile blco_kernel_profile();
+
+}  // namespace amped::baselines

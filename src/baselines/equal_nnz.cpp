@@ -1,0 +1,105 @@
+#include "baselines/equal_nnz.hpp"
+
+#include <vector>
+
+#include "core/ec_kernel.hpp"
+#include "sim/executor.hpp"
+
+namespace amped::baselines {
+
+BaselineResult run_equal_nnz(sim::Platform& platform, const CooTensor& t,
+                             const FactorSet& factors,
+                             const BaselineOptions& options) {
+  BaselineResult result;
+  result.name = "equal-nnz";
+  result.supported = true;  // chunks stream like AMPED's shards
+
+  const auto workload = detail::resolve_workload(options, t);
+  const int m = platform.num_gpus();
+  const std::size_t modes = t.num_modes();
+  const std::size_t rank = factors.rank();
+  const auto& cost = platform.gpu_cost_model();
+  const int sm_count = platform.gpu(0).spec().sm_count;
+
+  // Equal contiguous nonzero ranges, original (unsorted) element order.
+  std::vector<std::pair<nnz_t, nnz_t>> chunks;
+  const nnz_t per = (t.nnz() + m - 1) / static_cast<nnz_t>(m);
+  for (int g = 0; g < m; ++g) {
+    const nnz_t lo = std::min<nnz_t>(t.nnz(), per * static_cast<nnz_t>(g));
+    const nnz_t hi = std::min<nnz_t>(t.nnz(), lo + per);
+    chunks.emplace_back(lo, hi);
+  }
+
+  const detail::Measure measure(platform);
+
+  for (std::size_t d = 0; d < modes; ++d) {
+    DenseMatrix out(t.dim(d), rank);
+
+    sim::KernelProfile profile;
+    profile.coord_bytes_per_nnz =
+        static_cast<double>(modes * sizeof(index_t) + sizeof(value_t));
+    profile.factor_read_efficiency = sim::factor_read_efficiency(
+        workload.full_dims, rank, d, platform.config().gpu.l2_bytes);
+    // Partial-result emission: a pure R-wide store per element, no
+    // read-modify-write and no atomics.
+    profile.output_write_efficiency = 0.5;
+    profile.atomic_scale = 0.0;
+
+    std::uint64_t partial_bytes_total = 0;
+    for (int g = 0; g < m; ++g) {
+      const auto [lo, hi] = chunks[static_cast<std::size_t>(g)];
+      if (lo == hi) continue;
+      const std::uint64_t payload = (hi - lo) * t.bytes_per_nnz();
+      platform.h2d(g, payload);
+
+      const nnz_t seg = std::max<nnz_t>(
+          options.block_width,
+          (hi - lo + sm_count - 1) / static_cast<nnz_t>(sm_count));
+      std::vector<double> block_seconds;
+      for (nnz_t b = lo; b < hi; b += seg) {
+        const nnz_t e = std::min<nnz_t>(hi, b + seg);
+        auto stats = run_ec_block(t, b, e, d, factors, out);
+        // Unsorted chunk: treat every element as its own run (the kernel
+        // writes one partial per element regardless of adjacency).
+        stats.output_runs = stats.nnz;
+        stats.block_width = static_cast<std::size_t>(options.block_width);
+        block_seconds.push_back(cost.ec_block_seconds(stats, profile));
+      }
+      platform.gpu(g).advance(
+          sim::Phase::kCompute,
+          platform.kernel_launch_seconds() +
+              sim::grid_makespan(block_seconds, sm_count));
+
+      // Intermediate values back to the host: R floats per nonzero.
+      const std::uint64_t partial_bytes =
+          (hi - lo) * rank * sizeof(value_t);
+      platform.d2h(g, partial_bytes);
+      partial_bytes_total += partial_bytes;
+    }
+
+    // Host CPU merge: read every partial, scatter-add into the output
+    // factor matrix (one read + one accumulate pass at host bandwidth).
+    platform.barrier();
+    platform.host().wait_until(platform.makespan());
+    const double merge_seconds =
+        2.0 * static_cast<double>(partial_bytes_total) /
+        platform.host_cost_model().spec().mem_bandwidth;
+    platform.host().advance(sim::Phase::kHostCompute, merge_seconds);
+
+    // Broadcast the merged factor matrix back to every GPU.
+    const std::uint64_t factor_matrix_bytes =
+        static_cast<std::uint64_t>(t.dim(d)) * rank * sizeof(value_t);
+    for (int g = 0; g < m; ++g) {
+      platform.gpu(g).wait_until(platform.host().clock());
+      platform.h2d(g, factor_matrix_bytes);
+    }
+    platform.barrier();
+
+    if (options.collect_outputs) result.outputs.push_back(std::move(out));
+  }
+
+  measure.finish(result);
+  return result;
+}
+
+}  // namespace amped::baselines

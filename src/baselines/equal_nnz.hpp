@@ -1,0 +1,15 @@
+// Equal-nonzero-count multi-GPU distribution — the alternative §5.3
+// compares AMPED's partitioning scheme against (Fig. 6).
+//
+// The tensor is split into M equal chunks with no regard for output
+// indices, so a GPU cannot own any output row outright: the kernel emits
+// per-element partial results ("intermediate values", §1) which are
+// copied back and merged into the factor matrix by the host CPU — the
+// exact host-side collection work AMPED's sharding is designed to avoid
+// (§1 contribution 3). The 5.3x-10.3x slowdowns of Fig. 6 come from this
+// D2H volume (nnz x R values per mode) and the host merge throughput.
+#pragma once
+
+#include "baselines/runner.hpp"
+
+namespace amped::baselines {}  // namespace amped::baselines

@@ -1,0 +1,22 @@
+// HiCOO-based single-GPU baselines from the ParTI suite (Li et al.):
+//
+//  - run_parti_gpu:  ParTI's stock HiCOO GPU kernel — one threadblock per
+//    HiCOO block, no shared-memory privatisation of the output rows.
+//  - run_hicoo_gpu:  the same format with the "recommended configurations
+//    provided in the source code" (§5.1.4): superblock grouping so a
+//    threadblock amortises scheduling across many small blocks, plus
+//    privatised output accumulation.
+//
+// Both keep the compressed tensor resident on one device; the per-block
+// header overhead on hypersparse tensors is what kills Reddit (see
+// formats/memory_model.hpp), and the kernels support up to 4 modes.
+#pragma once
+
+#include "baselines/runner.hpp"
+
+namespace amped::baselines {
+
+inline constexpr std::size_t kHicooMaxModes = 4;
+inline constexpr unsigned kHicooBlockBits = 7;  // 128-wide blocks
+
+}  // namespace amped::baselines

@@ -1,0 +1,18 @@
+// MM-CSF baseline (Nisa et al., SC'19) — single GPU, compressed sparse
+// fiber trees resident in device memory.
+//
+// The fiber-tree kernel is the most compute-efficient of the baselines
+// (factor rows load once per fiber, root rows need no atomics) but the
+// structure must fit on the device: the paper reports it runs Amazon only
+// and hits runtime errors on Patents/Reddit, and its kernels do not
+// support the 5-mode Twitch tensor.
+#pragma once
+
+#include "baselines/runner.hpp"
+
+namespace amped::baselines {
+
+// Maximum tensor order the MM-CSF GPU kernels handle.
+inline constexpr std::size_t kMmcsfMaxModes = 4;
+
+}  // namespace amped::baselines

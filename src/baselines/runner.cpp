@@ -1,0 +1,102 @@
+#include "baselines/runner.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+
+namespace amped::baselines {
+
+WorkloadInfo WorkloadInfo::from_tensor(const CooTensor& t) {
+  WorkloadInfo w;
+  w.full_dims.assign(t.dims().begin(), t.dims().end());
+  w.full_nnz = t.nnz();
+  return w;
+}
+
+WorkloadInfo WorkloadInfo::from_dataset(const ScaledDataset& ds) {
+  WorkloadInfo w;
+  w.full_dims = ds.profile.full_dims;
+  w.full_nnz = ds.profile.full_nnz;
+  return w;
+}
+
+namespace detail {
+
+WorkloadInfo resolve_workload(const BaselineOptions& options,
+                              const CooTensor& t) {
+  if (!options.workload.full_dims.empty()) return options.workload;
+  return WorkloadInfo::from_tensor(t);
+}
+
+std::uint64_t device_capacity(const sim::Platform& platform) {
+  return platform.config().gpu.mem_bytes;  // unscaled spec
+}
+
+void fail_oom(BaselineResult& result, std::uint64_t needed,
+              std::uint64_t capacity) {
+  result.supported = false;
+  std::ostringstream os;
+  os << "runtime error: needs " << needed / (1ull << 30) << " GiB, GPU has "
+     << capacity / (1ull << 30) << " GiB";
+  result.failure_reason = os.str();
+}
+
+}  // namespace detail
+
+BaselineResult run_amped(sim::Platform& platform, const CooTensor& t,
+                         const FactorSet& factors,
+                         const BaselineOptions& options) {
+  BaselineResult result;
+  result.name = "amped";
+  result.supported = true;  // streams shards; always fits
+
+  AmpedBuildOptions build;
+  build.num_gpus = platform.num_gpus();
+  const AmpedTensor tensor = AmpedTensor::build(t, build);
+
+  MttkrpOptions mopts;
+  mopts.block_width = options.block_width;
+  const auto workload = detail::resolve_workload(options, t);
+  mopts.full_dims = workload.full_dims;
+
+  const auto before = platform.aggregate_timeline();
+  std::vector<DenseMatrix> outputs;
+  auto report = mttkrp_all_modes(platform, tensor, factors, outputs, mopts);
+  result.total_seconds = report.total_seconds;
+  auto after = platform.aggregate_timeline();
+  for (std::size_t p = 0; p < sim::kNumPhases; ++p) {
+    const auto phase = static_cast<sim::Phase>(p);
+    result.timeline.add(phase, after.total(phase) - before.total(phase));
+  }
+  if (options.collect_outputs) result.outputs = std::move(outputs);
+  return result;
+}
+
+std::vector<std::string> baseline_names() {
+  return {"blco", "mm-csf", "hicoo-gpu", "flycoo-gpu", "parti-gpu"};
+}
+
+BaselineResult run_baseline(const std::string& name, sim::Platform& platform,
+                            const CooTensor& t, const FactorSet& factors,
+                            const BaselineOptions& options) {
+  if (name == "amped") return run_amped(platform, t, factors, options);
+  if (name == "blco") return run_blco_gpu(platform, t, factors, options);
+  if (name == "mm-csf") return run_mmcsf_gpu(platform, t, factors, options);
+  if (name == "hicoo-gpu") {
+    return run_hicoo_gpu(platform, t, factors, options);
+  }
+  if (name == "parti-gpu") {
+    return run_parti_gpu(platform, t, factors, options);
+  }
+  if (name == "flycoo-gpu") {
+    return run_flycoo_gpu(platform, t, factors, options);
+  }
+  if (name == "equal-nnz") {
+    return run_equal_nnz(platform, t, factors, options);
+  }
+  throw std::invalid_argument("unknown baseline: " + name);
+}
+
+}  // namespace amped::baselines

@@ -1,0 +1,117 @@
+// Uniform interface over the state-of-the-art baselines of §5.1.4 plus
+// AMPED itself and the Fig. 6 equal-nnz strawman.
+//
+// Each runner reimplements its system's execution and data-movement
+// strategy on the shared simulator: what is resident vs. streamed, which
+// kernel profile it pays, and whether it can run at all. Feasibility is
+// decided from the *full-scale* workload (WorkloadInfo) against the
+// unscaled 48 GB device capacity, reproducing the paper's "runtime error"
+// outcomes; unsupported runs return supported = false with the reason.
+// The arithmetic really executes: `outputs[d]` holds mode d's MTTKRP
+// result, verified against the sequential reference in the tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/generator.hpp"
+
+namespace amped::baselines {
+
+struct WorkloadInfo {
+  std::vector<std::uint64_t> full_dims;  // unscaled Table 3 mode sizes
+  std::uint64_t full_nnz = 0;            // unscaled nonzero count
+
+  static WorkloadInfo from_tensor(const CooTensor& t);
+  static WorkloadInfo from_dataset(const ScaledDataset& ds);
+};
+
+struct BaselineOptions {
+  nnz_t block_width = 32;
+  WorkloadInfo workload;        // empty full_dims = derive from the tensor
+  bool collect_outputs = true;  // keep per-mode outputs for verification
+};
+
+struct BaselineResult {
+  std::string name;
+  bool supported = false;
+  std::string failure_reason;        // why the run was refused
+  double total_seconds = 0.0;        // simulated, all modes (§5.1.6)
+  sim::Timeline timeline;            // aggregate device-time breakdown
+  std::vector<DenseMatrix> outputs;  // per-mode MTTKRP results
+};
+
+// Individual runners. Single-GPU baselines use platform.gpu(0) and expect
+// a platform constructed with num_gpus = 1 for faithful link modelling.
+BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
+                            const FactorSet& factors,
+                            const BaselineOptions& options);
+BaselineResult run_mmcsf_gpu(sim::Platform& platform, const CooTensor& t,
+                             const FactorSet& factors,
+                             const BaselineOptions& options);
+BaselineResult run_hicoo_gpu(sim::Platform& platform, const CooTensor& t,
+                             const FactorSet& factors,
+                             const BaselineOptions& options);
+BaselineResult run_parti_gpu(sim::Platform& platform, const CooTensor& t,
+                             const FactorSet& factors,
+                             const BaselineOptions& options);
+BaselineResult run_flycoo_gpu(sim::Platform& platform, const CooTensor& t,
+                              const FactorSet& factors,
+                              const BaselineOptions& options);
+// Fig. 6 strawman: equal nonzero split across all GPUs of `platform`,
+// per-element partial results merged on the host CPU.
+BaselineResult run_equal_nnz(sim::Platform& platform, const CooTensor& t,
+                             const FactorSet& factors,
+                             const BaselineOptions& options);
+// AMPED itself through the same interface (builds the sharded format and
+// runs the multi-GPU algorithm on all of `platform`'s GPUs).
+BaselineResult run_amped(sim::Platform& platform, const CooTensor& t,
+                         const FactorSet& factors,
+                         const BaselineOptions& options);
+
+// Names accepted by run_baseline, in the paper's Fig. 5 order.
+std::vector<std::string> baseline_names();
+BaselineResult run_baseline(const std::string& name, sim::Platform& platform,
+                            const CooTensor& t, const FactorSet& factors,
+                            const BaselineOptions& options);
+
+// Shared helpers for the runner implementations.
+namespace detail {
+// Fills workload from the tensor when the caller did not provide one.
+WorkloadInfo resolve_workload(const BaselineOptions& options,
+                              const CooTensor& t);
+// Unscaled device capacity of the platform's GPUs.
+std::uint64_t device_capacity(const sim::Platform& platform);
+// Marks `result` unsupported with a formatted out-of-memory reason.
+void fail_oom(BaselineResult& result, std::uint64_t needed,
+              std::uint64_t capacity);
+
+// Captures platform makespan + timeline at construction; finish() writes
+// the deltas into a BaselineResult.
+class Measure {
+ public:
+  explicit Measure(const sim::Platform& platform)
+      : platform_(platform),
+        t0_(platform.makespan()),
+        agg0_(platform.aggregate_timeline()) {}
+
+  void finish(BaselineResult& result) const {
+    result.total_seconds = platform_.makespan() - t0_;
+    const auto agg1 = platform_.aggregate_timeline();
+    for (std::size_t p = 0; p < sim::kNumPhases; ++p) {
+      const auto phase = static_cast<sim::Phase>(p);
+      result.timeline.add(phase, agg1.total(phase) - agg0_.total(phase));
+    }
+  }
+
+ private:
+  const sim::Platform& platform_;
+  double t0_;
+  sim::Timeline agg0_;
+};
+}  // namespace detail
+
+}  // namespace amped::baselines

@@ -1,0 +1,38 @@
+// Inter-GPU all-gather of output factor-matrix partitions (paper §4.9,
+// Algorithm 3).
+//
+// After a mode's MTTKRP, each GPU holds the updated rows it owns; every
+// GPU needs the full matrix before the next mode. The paper uses a ring:
+// (M-1) steps, each GPU forwarding the partition it received in the
+// previous step to its successor, with a barrier per step. Two alternative
+// algorithms are provided for the ablation bench: direct exchange (each
+// GPU sends its partition to every peer) and host-staged gather
+// (D2H -> concatenate -> broadcast H2D), the strategy AMPED explicitly
+// avoids because it routes bulk traffic through the host.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "sim/platform.hpp"
+
+namespace amped {
+
+enum class AllGatherAlgo { kRing, kDirect, kHostStaged };
+
+std::string to_string(AllGatherAlgo algo);
+
+struct AllGatherReport {
+  double seconds = 0.0;          // platform makespan growth
+  std::uint64_t bytes_moved = 0; // total bytes crossing any link
+};
+
+// `part_bytes[g]` is the byte size of GPU g's owned partition. All GPU
+// clocks advance; a barrier is issued before and after so the report's
+// `seconds` is the full synchronised cost of the exchange.
+AllGatherReport allgather_factor_rows(sim::Platform& platform,
+                                      std::span<const std::uint64_t> part_bytes,
+                                      AllGatherAlgo algo = AllGatherAlgo::kRing);
+
+}  // namespace amped

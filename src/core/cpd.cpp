@@ -1,0 +1,132 @@
+#include "core/cpd.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/logging.hpp"
+
+namespace amped {
+
+double tensor_norm_sq(const CooTensor& t) {
+  double acc = 0.0;
+  for (value_t v : t.values()) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+namespace {
+
+// lambda^T (hadamard of all grams) lambda.
+double model_norm_sq(const std::vector<DenseMatrix>& grams,
+                     const std::vector<double>& lambda) {
+  const std::size_t r = lambda.size();
+  DenseMatrix h(r, r, value_t{1});
+  for (const auto& g : grams) {
+    for (std::size_t i = 0; i < r * r; ++i) h.data()[i] *= g.data()[i];
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      acc += lambda[i] * lambda[j] * static_cast<double>(h(i, j));
+    }
+  }
+  return acc;
+}
+
+// <X, X_hat> given the last mode's MTTKRP output G and the updated,
+// normalised factor A of that mode: sum_r lambda_r <G(:,r), A(:,r)>.
+double inner_product(const DenseMatrix& mttkrp_out, const DenseMatrix& factor,
+                     const std::vector<double>& lambda) {
+  assert(mttkrp_out.rows() == factor.rows() &&
+         mttkrp_out.cols() == factor.cols());
+  const std::size_t r = factor.cols();
+  std::vector<double> per_col(r, 0.0);
+  for (std::size_t i = 0; i < factor.rows(); ++i) {
+    const auto g = mttkrp_out.row(i);
+    const auto a = factor.row(i);
+    for (std::size_t c = 0; c < r; ++c) {
+      per_col[c] += static_cast<double>(g[c]) * a[c];
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t c = 0; c < r; ++c) acc += lambda[c] * per_col[c];
+  return acc;
+}
+
+}  // namespace
+
+CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
+                 const CpdOptions& options) {
+  const std::size_t modes = tensor.num_modes();
+  const std::size_t rank = options.rank;
+
+  Rng rng(options.seed);
+  CpdResult result;
+  result.factors = FactorSet(tensor.dims(), rank, rng);
+  result.lambda.assign(rank, 1.0);
+
+  std::vector<DenseMatrix> grams(modes);
+  for (std::size_t d = 0; d < modes; ++d) {
+    grams[d] = linalg::gram(result.factors.factor(d));
+  }
+
+  const double norm_x_sq = tensor_norm_sq(tensor.mode_copy(0).tensor);
+  double prev_fit = 0.0;
+  DenseMatrix mttkrp_out;
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    double iprod = 0.0;
+    for (std::size_t d = 0; d < modes; ++d) {
+      mttkrp_out = DenseMatrix(tensor.dims()[d], rank);
+      auto bd = mttkrp_one_mode(platform, tensor, result.factors, d,
+                                mttkrp_out, options.mttkrp);
+      result.mttkrp_sim_seconds += bd.seconds;
+
+      // V = hadamard of the other modes' grams.
+      DenseMatrix v(rank, rank, value_t{1});
+      for (std::size_t w = 0; w < modes; ++w) {
+        if (w == d) continue;
+        for (std::size_t i = 0; i < rank * rank; ++i) {
+          v.data()[i] *= grams[w].data()[i];
+        }
+      }
+      DenseMatrix updated = mttkrp_out;  // keep raw G for the fit
+      linalg::solve_normal_equations(v, updated);
+
+      // Column-normalise; weights move into lambda.
+      for (std::size_t c = 0; c < rank; ++c) {
+        double norm = linalg::column_norm(updated, c);
+        if (norm < 1e-30) norm = 1.0;  // dead component; leave as-is
+        result.lambda[c] = norm;
+        linalg::scale_column(updated, c,
+                             static_cast<value_t>(1.0 / norm));
+      }
+      result.factors.factor(d) = std::move(updated);
+      grams[d] = linalg::gram(result.factors.factor(d));
+
+      if (d + 1 == modes) {
+        iprod = inner_product(mttkrp_out, result.factors.factor(d),
+                              result.lambda);
+      }
+    }
+
+    const double model_sq = model_norm_sq(grams, result.lambda);
+    const double residual_sq =
+        std::max(0.0, norm_x_sq + model_sq - 2.0 * iprod);
+    const double fit = 1.0 - std::sqrt(residual_sq / norm_x_sq);
+    result.fit = fit;
+    result.fit_history.push_back(fit);
+    result.iterations = it + 1;
+    AMPED_LOG_DEBUG << "als iter " << it << " fit " << fit;
+
+    if (it > 0 && std::abs(fit - prev_fit) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_fit = fit;
+  }
+  return result;
+}
+
+}  // namespace amped

@@ -1,0 +1,48 @@
+// CPD-ALS driver (paper §2.1.4) on top of the multi-GPU MTTKRP.
+//
+// Alternating least squares: for each mode d, solve
+//   A_d <- MTTKRP_d(X, {A_w}) * (hadamard_{w != d} A_w^T A_w)^-1
+// then column-normalise. The MTTKRP runs on the simulated multi-GPU
+// platform (it is the measured bottleneck, §5.1.6); the rank x rank dense
+// algebra runs on the host and is excluded from simulated time, matching
+// the paper's metric which times MTTKRP across modes only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+#include "sim/platform.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace amped {
+
+struct CpdOptions {
+  std::size_t rank = 32;
+  std::size_t max_iterations = 25;
+  // Stop when the fit improves by less than this between iterations.
+  double tolerance = 1e-5;
+  std::uint64_t seed = 7;
+  MttkrpOptions mttkrp;
+};
+
+struct CpdResult {
+  FactorSet factors;            // column-normalised factor matrices
+  std::vector<double> lambda;   // per-component weights
+  double fit = 0.0;             // 1 - ||X - X_hat||_F / ||X||_F
+  std::size_t iterations = 0;
+  bool converged = false;
+  double mttkrp_sim_seconds = 0.0;  // simulated MTTKRP time, all iterations
+  std::vector<double> fit_history;  // fit after each iteration
+};
+
+// Frobenius norm squared of the tensor's nonzero values.
+double tensor_norm_sq(const CooTensor& t);
+
+// Runs ALS until convergence or max_iterations. `tensor` supplies both the
+// execution format and (through mode copy 0) the values for the fit.
+CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
+                 const CpdOptions& options);
+
+}  // namespace amped

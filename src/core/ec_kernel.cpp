@@ -1,0 +1,93 @@
+#include "core/ec_kernel.hpp"
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+namespace amped {
+
+sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
+                               std::size_t output_mode,
+                               const FactorSet& factors, DenseMatrix& out) {
+  assert(end <= t.nnz() && begin <= end);
+  assert(output_mode < t.num_modes());
+  const std::size_t modes = t.num_modes();
+  const std::size_t rank = factors.rank();
+
+  sim::EcBlockStats stats;
+  stats.nnz = end - begin;
+  stats.modes = modes;
+  stats.rank = rank;
+  if (begin == end) return stats;
+
+  const auto out_idx = t.indices(output_mode);
+  const auto vals = t.values();
+  std::array<value_t, 256> scratch{};
+  assert(rank <= scratch.size());
+
+  index_t run_index = out_idx[begin];
+  nnz_t run_len = 0;
+  stats.output_runs = 1;
+  std::unordered_map<index_t, nnz_t> multiplicity;
+  multiplicity.reserve(static_cast<std::size_t>(end - begin));
+
+  for (nnz_t n = begin; n < end; ++n) {
+    const value_t v = vals[n];
+    for (std::size_t r = 0; r < rank; ++r) scratch[r] = v;
+    for (std::size_t w = 0; w < modes; ++w) {
+      if (w == output_mode) continue;
+      const auto row = factors.factor(w).row(t.indices(w)[n]);
+      for (std::size_t r = 0; r < rank; ++r) scratch[r] *= row[r];
+    }
+    const index_t i = out_idx[n];
+    auto out_row = out.row(i);
+    for (std::size_t r = 0; r < rank; ++r) out_row[r] += scratch[r];
+
+    if (i == run_index) {
+      ++run_len;
+    } else {
+      stats.max_run = std::max(stats.max_run, run_len);
+      ++stats.output_runs;
+      run_index = i;
+      run_len = 1;
+    }
+    stats.max_multiplicity = std::max(stats.max_multiplicity, ++multiplicity[i]);
+  }
+  stats.max_run = std::max(stats.max_run, run_len);
+  return stats;
+}
+
+void RunStatsAccumulator::feed(index_t output_index) {
+  if (stats_.nnz == 0 || output_index != run_index_) {
+    stats_.max_run = std::max(stats_.max_run, run_len_);
+    ++stats_.output_runs;
+    run_index_ = output_index;
+    run_len_ = 1;
+  } else {
+    ++run_len_;
+  }
+  ++stats_.nnz;
+  stats_.max_multiplicity =
+      std::max(stats_.max_multiplicity, ++multiplicity_[output_index]);
+}
+
+sim::EcBlockStats RunStatsAccumulator::finish(std::size_t modes,
+                                              std::size_t rank,
+                                              std::size_t block_width) {
+  stats_.max_run = std::max(stats_.max_run, run_len_);
+  stats_.modes = modes;
+  stats_.rank = rank;
+  stats_.block_width = block_width;
+  sim::EcBlockStats out = stats_;
+  reset();
+  return out;
+}
+
+void RunStatsAccumulator::reset() {
+  stats_ = sim::EcBlockStats{};
+  run_index_ = 0;
+  run_len_ = 0;
+  multiplicity_.clear();
+}
+
+}  // namespace amped

@@ -1,0 +1,46 @@
+// Elementwise computation (EC) kernel — the numerical core of MTTKRP
+// (paper §3.0.1, Algorithm 2 lines 9-19).
+//
+// Processes a contiguous range of nonzeros of a COO tensor for a given
+// output mode: for each element, the Hadamard product of the input-mode
+// factor rows is scaled by the element value and accumulated into the
+// output-mode row. This one routine performs the *real* arithmetic for
+// AMPED and for every baseline; callers wrap it with their own partition /
+// transfer / cost logic. While executing, it gathers the block statistics
+// (same-output-row run structure) the simulator's atomic-contention model
+// consumes.
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/cost_model.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace amped {
+
+// Runs EC over elements [begin, end) of `t`, accumulating into `out`
+// (dim(output_mode) x R). Returns the block stats for the cost model.
+sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
+                               std::size_t output_mode,
+                               const FactorSet& factors, DenseMatrix& out);
+
+// Incremental collector of the same output-index run statistics for
+// callers that drive their own element loops (the baseline kernels over
+// BLCO blocks, HiCOO superblocks, ...). Feed output indices in stream
+// order, then finish() with the kernel geometry.
+class RunStatsAccumulator {
+ public:
+  void feed(index_t output_index);
+  sim::EcBlockStats finish(std::size_t modes, std::size_t rank,
+                           std::size_t block_width);
+  void reset();
+
+ private:
+  sim::EcBlockStats stats_;
+  index_t run_index_ = 0;
+  nnz_t run_len_ = 0;
+  std::unordered_map<index_t, nnz_t> multiplicity_;
+};
+
+}  // namespace amped

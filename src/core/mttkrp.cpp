@@ -1,0 +1,305 @@
+#include "core/mttkrp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "core/ec_kernel.hpp"
+#include "sim/executor.hpp"
+#include "util/stats.hpp"
+
+namespace amped {
+
+namespace {
+
+sim::KernelProfile resolve_profile(const MttkrpOptions& options,
+                                   const AmpedTensor& tensor,
+                                   std::size_t output_mode,
+                                   const sim::Platform& platform,
+                                   std::size_t rank) {
+  sim::KernelProfile p = options.profile;
+  const std::size_t modes = tensor.num_modes();
+  if (p.coord_bytes_per_nnz <= 0.0) {
+    p.coord_bytes_per_nnz =
+        static_cast<double>(modes * sizeof(index_t) + sizeof(value_t));
+  }
+  // Fold the full-scale cache efficiency of this output mode's factor
+  // reads into the profile's locality multiplier.
+  std::vector<std::uint64_t> full_dims = options.full_dims;
+  if (full_dims.empty()) {
+    full_dims.assign(tensor.dims().begin(), tensor.dims().end());
+  }
+  p.factor_read_efficiency = sim::factor_read_efficiency(
+      full_dims, rank, output_mode,
+      platform.config().gpu.l2_bytes, p.factor_read_efficiency);
+  return p;
+}
+
+// Simulated costs of one shard on one GPU. prepare_shard performs the
+// real arithmetic and cost evaluation without touching device clocks, so
+// callers can apply either sequential or pipelined streaming semantics.
+struct ShardCost {
+  std::uint64_t payload = 0;  // COO bytes streamed
+  double h2d = 0.0;           // transfer seconds
+  double ec = 0.0;            // grid execution seconds (incl. launch)
+};
+
+ShardCost prepare_shard(sim::Platform& platform, int gpu,
+                        const AmpedTensor::ModeCopy& copy, const Shard& shard,
+                        const FactorSet& factors, DenseMatrix& out,
+                        const MttkrpOptions& options,
+                        const sim::KernelProfile& profile) {
+  const auto& device = platform.gpu(gpu);
+  ShardCost cost;
+  cost.payload = shard.nnz() * copy.tensor.bytes_per_nnz();
+  cost.h2d = platform.h2d_seconds(cost.payload);
+
+  const int sm_count = device.spec().sm_count;
+  nnz_t isp_size = options.isp_size;
+  if (isp_size == 0) {
+    // Paper §3.2: each shard yields ~g ISPs, one per SM.
+    isp_size = std::max<nnz_t>(options.block_width,
+                               (shard.nnz() + sm_count - 1) /
+                                   static_cast<nnz_t>(sm_count));
+  }
+
+  std::vector<double> block_seconds;
+  for (auto [lo, hi] : split_isps(shard, isp_size)) {
+    auto stats = run_ec_block(copy.tensor, shard.nnz_begin + lo,
+                              shard.nnz_begin + hi, copy.partition.mode,
+                              factors, out);
+    stats.block_width = static_cast<std::size_t>(options.block_width);
+    block_seconds.push_back(
+        platform.cost_model(gpu).ec_block_seconds(stats, profile));
+  }
+  cost.ec = platform.kernel_launch_seconds() +
+            sim::grid_makespan(block_seconds, sm_count);
+  return cost;
+}
+
+// Executes one shard with sequential (non-overlapped) streaming: H2D of
+// the payload, then the grid. Returns the EC seconds charged.
+double execute_shard(sim::Platform& platform, int gpu,
+                     const AmpedTensor::ModeCopy& copy, const Shard& shard,
+                     const FactorSet& factors, DenseMatrix& out,
+                     const MttkrpOptions& options,
+                     const sim::KernelProfile& profile) {
+  auto& device = platform.gpu(gpu);
+  const ShardCost cost =
+      prepare_shard(platform, gpu, copy, shard, factors, out, options,
+                    profile);
+  device.alloc(cost.payload);
+  platform.h2d(gpu, cost.payload);
+  std::string label;
+  if (device.tracing()) {
+    label = "grid mode" + std::to_string(copy.partition.mode) + " idx[" +
+            std::to_string(shard.index_begin) + "," +
+            std::to_string(shard.index_end) + ")";
+  }
+  device.advance(sim::Phase::kCompute, cost.ec, std::move(label));
+  device.free(cost.payload);
+  return cost.ec;
+}
+
+// Executes a GPU's shard list with double-buffered streaming: the copy
+// engine fetches shard i+1 while the SMs run shard i; a grid may not
+// start before its shard has landed. Charges the device the compute time
+// plus only the *exposed* (non-overlapped) transfer time.
+double execute_pipelined(sim::Platform& platform, int gpu,
+                         const AmpedTensor::ModeCopy& copy,
+                         std::span<const std::size_t> shard_ids,
+                         const FactorSet& factors, DenseMatrix& out,
+                         const MttkrpOptions& options,
+                         const sim::KernelProfile& profile,
+                         double* ec_total_out) {
+  auto& device = platform.gpu(gpu);
+  const double start = device.clock();
+  double copy_clock = start;
+  double compute_clock = start;
+  double ec_total = 0.0;
+  double h2d_total = 0.0;
+  for (std::size_t id : shard_ids) {
+    const auto& shard = copy.partition.shards[id];
+    const ShardCost cost = prepare_shard(platform, gpu, copy, shard,
+                                         factors, out, options, profile);
+    const double landed = copy_clock + cost.h2d;
+    copy_clock = landed;
+    compute_clock = std::max(compute_clock, landed) + cost.ec;
+    ec_total += cost.ec;
+    h2d_total += cost.h2d;
+  }
+  const double finish = std::max(copy_clock, compute_clock);
+  // Exposed transfer = whatever the compute could not hide.
+  const double exposed_h2d =
+      std::max(0.0, finish - start - ec_total);
+  device.advance(sim::Phase::kHostToDevice, exposed_h2d);
+  device.advance(sim::Phase::kCompute, ec_total);
+  (void)h2d_total;
+  if (ec_total_out) *ec_total_out = ec_total;
+  return finish - start;
+}
+
+}  // namespace
+
+ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
+                              const AmpedTensor& tensor,
+                              const FactorSet& factors, std::size_t mode,
+                              DenseMatrix& out, const MttkrpOptions& options) {
+  const int m = platform.num_gpus();
+  const auto& copy = tensor.mode_copy(mode);
+  const auto& partition = copy.partition;
+  const auto profile =
+      resolve_profile(options, tensor, mode, platform, factors.rank());
+
+  assert(out.rows() == tensor.dims()[mode] && out.cols() == factors.rank());
+  out.set_zero();
+
+  ModeBreakdown bd;
+  bd.mode = mode;
+  bd.per_gpu_compute.assign(static_cast<std::size_t>(m), 0.0);
+
+  platform.barrier();
+  const double t0 = platform.makespan();
+  auto agg0 = platform.aggregate_timeline();
+
+  // Every GPU mirrors the factor matrices in global memory (§4.4).
+  const std::uint64_t factor_bytes = factors.total_bytes();
+  for (int g = 0; g < m; ++g) platform.gpu(g).alloc(factor_bytes);
+
+  // Rows of the output factor matrix owned by each GPU, for the
+  // all-gather partition sizes.
+  std::vector<std::uint64_t> owned_rows(static_cast<std::size_t>(m), 0);
+
+  if (options.policy == SchedulingPolicy::kDynamicQueue) {
+    // Shards dispatched in index order to the earliest-idle GPU — the
+    // dynamic load-balancing scheme. The simulated clock *is* the idle
+    // signal, so this reproduces a work queue exactly.
+    using Entry = std::pair<double, int>;  // (clock, gpu)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> idle;
+    for (int g = 0; g < m; ++g) idle.push({platform.gpu(g).clock(), g});
+    for (const auto& shard : partition.shards) {
+      auto [clock, g] = idle.top();
+      idle.pop();
+      const double ec = execute_shard(platform, g, copy, shard, factors, out,
+                                      options, profile);
+      bd.per_gpu_compute[static_cast<std::size_t>(g)] += ec;
+      owned_rows[static_cast<std::size_t>(g)] += shard.index_count();
+      idle.push({platform.gpu(g).clock(), g});
+    }
+  } else {
+    ShardAssignment assignment;
+    if (options.policy == SchedulingPolicy::kWeightedStatic) {
+      // Weight each GPU by the inverse of its full per-nonzero cost:
+      // streaming the element over the (device-independent) host link
+      // plus executing it at the device's bandwidth. Weighting by device
+      // bandwidth alone overloads fast GPUs whenever H2D dominates.
+      const double bytes_per_elem =
+          static_cast<double>(copy.tensor.bytes_per_nnz());
+      const double h2d_per_byte =
+          (platform.h2d_seconds(1u << 30) - platform.h2d_seconds(0)) /
+          static_cast<double>(1u << 30);
+      std::vector<double> weights(static_cast<std::size_t>(m));
+      for (int g = 0; g < m; ++g) {
+        const auto& cm = platform.cost_model(g);
+        const double ec_per_elem =
+            cm.bytes_per_nnz(tensor.num_modes(), factors.rank(), profile) /
+            cm.spec().mem_bandwidth;
+        weights[static_cast<std::size_t>(g)] =
+            1.0 / (bytes_per_elem * h2d_per_byte + ec_per_elem);
+      }
+      assignment = assign_shards_weighted(partition, weights);
+    } else {
+      assignment = assign_shards(partition, m, options.policy);
+    }
+    for (int g = 0; g < m; ++g) {
+      const auto& ids = assignment.per_gpu[static_cast<std::size_t>(g)];
+      if (options.pipelined_streaming) {
+        double ec_total = 0.0;
+        execute_pipelined(platform, g, copy, ids, factors, out, options,
+                          profile, &ec_total);
+        bd.per_gpu_compute[static_cast<std::size_t>(g)] += ec_total;
+      } else {
+        for (std::size_t id : ids) {
+          const double ec = execute_shard(platform, g, copy,
+                                          partition.shards[id], factors,
+                                          out, options, profile);
+          bd.per_gpu_compute[static_cast<std::size_t>(g)] += ec;
+        }
+      }
+      for (std::size_t id : ids) {
+        owned_rows[static_cast<std::size_t>(g)] +=
+            partition.shards[id].index_count();
+      }
+    }
+  }
+
+  platform.barrier();  // Algorithm 1 line 9: inter-GPU barrier
+
+  // Algorithm 1 line 11: all-gather the updated output factor rows.
+  std::vector<std::uint64_t> part_bytes(static_cast<std::size_t>(m), 0);
+  for (int g = 0; g < m; ++g) {
+    part_bytes[static_cast<std::size_t>(g)] =
+        owned_rows[static_cast<std::size_t>(g)] * factors.rank() *
+        sizeof(value_t);
+  }
+  allgather_factor_rows(platform, part_bytes, options.allgather);
+
+  for (int g = 0; g < m; ++g) platform.gpu(g).free(factor_bytes);
+
+  bd.seconds = platform.makespan() - t0;
+  auto agg1 = platform.aggregate_timeline();
+  bd.h2d = agg1.total(sim::Phase::kHostToDevice) -
+           agg0.total(sim::Phase::kHostToDevice);
+  bd.compute =
+      agg1.total(sim::Phase::kCompute) - agg0.total(sim::Phase::kCompute);
+  bd.p2p = agg1.total(sim::Phase::kPeerToPeer) -
+           agg0.total(sim::Phase::kPeerToPeer);
+  bd.sync = agg1.total(sim::Phase::kSync) - agg0.total(sim::Phase::kSync);
+  return bd;
+}
+
+double MttkrpReport::compute_overhead_fraction() const {
+  double total = 0.0;
+  for (double t : per_gpu_compute) total += t;
+  if (total <= 0.0 || per_gpu_compute.size() < 2) return 0.0;
+  const auto [mn, mx] =
+      std::minmax_element(per_gpu_compute.begin(), per_gpu_compute.end());
+  return (*mx - *mn) / total;
+}
+
+double MttkrpReport::communication_fraction() const {
+  double comm = 0.0, all = 0.0;
+  for (const auto& m : modes) {
+    comm += m.h2d + m.p2p;
+    all += m.h2d + m.p2p + m.compute + m.sync;
+  }
+  return all > 0.0 ? comm / all : 0.0;
+}
+
+MttkrpReport mttkrp_all_modes(sim::Platform& platform,
+                              const AmpedTensor& tensor,
+                              const FactorSet& factors,
+                              std::vector<DenseMatrix>& outputs,
+                              const MttkrpOptions& options) {
+  MttkrpReport report;
+  report.per_gpu_compute.assign(
+      static_cast<std::size_t>(platform.num_gpus()), 0.0);
+  outputs.clear();
+  outputs.reserve(tensor.num_modes());
+
+  platform.barrier();
+  const double t0 = platform.makespan();
+  for (std::size_t d = 0; d < tensor.num_modes(); ++d) {
+    outputs.emplace_back(tensor.dims()[d], factors.rank());
+    auto bd = mttkrp_one_mode(platform, tensor, factors, d, outputs.back(),
+                              options);
+    for (std::size_t g = 0; g < bd.per_gpu_compute.size(); ++g) {
+      report.per_gpu_compute[g] += bd.per_gpu_compute[g];
+    }
+    report.modes.push_back(std::move(bd));
+  }
+  report.total_seconds = platform.makespan() - t0;
+  return report;
+}
+
+}  // namespace amped

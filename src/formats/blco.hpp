@@ -1,0 +1,83 @@
+// BLCO — Blocked Linearized COOrdinates (Nguyen et al., ICS'22), the
+// format behind the BLCO baseline's out-of-memory streaming execution.
+//
+// Each nonzero's coordinates are bit-packed into a single 64-bit key.
+// When the tensor's index space needs more than 64 bits, the key stream
+// is split into blocks whose high-order bits are constant and stored once
+// per block — that is the "blocked" part, and it also gives natural
+// streaming granularity: the host keeps all blocks and ships them to the
+// GPU one at a time per mode (§2.2, "streamed to a single GPU during the
+// execution time of each mode computation").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace amped::formats {
+
+class BlcoTensor {
+ public:
+  struct Block {
+    std::uint64_t high_bits = 0;  // shared upper key bits of this block
+    nnz_t begin = 0;              // element range [begin, end)
+    nnz_t end = 0;
+    nnz_t nnz() const { return end - begin; }
+    std::uint64_t payload_bytes() const {
+      return nnz() * (sizeof(std::uint64_t) + sizeof(value_t));
+    }
+  };
+
+  // `max_block_elems` bounds the streaming granularity even when the keys
+  // fit 64 bits outright (one giant block would defeat streaming).
+  static BlcoTensor build(const CooTensor& t, nnz_t max_block_elems = 1 << 24);
+
+  std::size_t num_modes() const { return dims_.size(); }
+  const std::vector<index_t>& dims() const { return dims_; }
+  nnz_t nnz() const { return values_.size(); }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<unsigned>& bits() const { return bits_; }
+
+  // 12 bytes per nonzero plus block headers.
+  std::uint64_t storage_bytes() const;
+
+  // Recovers the coordinates of element e (de-linearisation, which on the
+  // GPU costs the ALU work modelled by the baseline's flop_overhead).
+  void coords_of(nnz_t e, std::span<index_t> out) const;
+
+  std::span<const value_t> values() const { return values_; }
+  std::span<const std::uint64_t> keys() const { return keys_; }
+
+  // Visits every element of `b` in stream order, decoding coordinates
+  // without the per-element binary search of coords_of. `fn` is called as
+  // fn(std::span<const index_t> coords, value_t value).
+  template <typename Fn>
+  void visit_block(const Block& b, Fn&& fn) const {
+    index_t coords[kMaxModes];
+    for (nnz_t e = b.begin; e < b.end; ++e) {
+      unsigned __int128 key =
+          (static_cast<unsigned __int128>(b.high_bits) << low_bits_total_) |
+          keys_[e];
+      for (std::size_t i = num_modes(); i-- > 0;) {
+        const std::size_t m = mode_order_[i];
+        coords[m] = static_cast<index_t>(
+            static_cast<std::uint64_t>(key) & ((1ull << bits_[m]) - 1));
+        key >>= bits_[m];
+      }
+      fn(std::span<const index_t>(coords, num_modes()), values_[e]);
+    }
+  }
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<unsigned> bits_;
+  std::vector<std::size_t> mode_order_;  // linearisation order (mode 0 major)
+  unsigned low_bits_total_ = 0;          // key bits kept per element
+  std::vector<Block> blocks_;
+  std::vector<std::uint64_t> keys_;  // low 64 bits of each element's key
+  std::vector<value_t> values_;
+};
+
+}  // namespace amped::formats

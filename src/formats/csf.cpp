@@ -1,0 +1,155 @@
+#include "formats/csf.hpp"
+
+#include <array>
+#include <cassert>
+#include <numeric>
+
+#include "formats/sorting.hpp"
+
+namespace amped::formats {
+
+CsfTensor CsfTensor::build(const CooTensor& t,
+                           std::vector<std::size_t> mode_order) {
+  const std::size_t modes = t.num_modes();
+  assert(mode_order.size() == modes);
+  CsfTensor out;
+  out.mode_order_ = std::move(mode_order);
+  out.dims_ = t.dims();
+
+  const auto perm = lexicographic_permutation(t, out.mode_order_);
+  const nnz_t n = t.nnz();
+  out.levels_.resize(modes - 1);
+  out.leaf_idx_.resize(n);
+  out.values_.resize(n);
+
+  const std::size_t leaf_mode = out.mode_order_.back();
+  for (nnz_t i = 0; i < n; ++i) {
+    out.leaf_idx_[i] = t.indices(leaf_mode)[perm[i]];
+    out.values_[i] = t.values()[perm[i]];
+  }
+
+  // Build levels top-down: a new node starts wherever the prefix
+  // (mode_order[0..l]) differs from the previous nonzero's.
+  for (std::size_t l = 0; l + 1 < modes; ++l) {
+    auto& level = out.levels_[l];
+    const std::size_t m = out.mode_order_[l];
+    const auto idx = t.indices(m);
+    for (nnz_t i = 0; i < n; ++i) {
+      bool boundary = (i == 0);
+      if (!boundary) {
+        for (std::size_t k = 0; k <= l && !boundary; ++k) {
+          const auto km = out.mode_order_[k];
+          boundary = t.indices(km)[perm[i]] != t.indices(km)[perm[i - 1]];
+        }
+      }
+      if (boundary) {
+        level.idx.push_back(idx[perm[i]]);
+        level.ptr.push_back(i);  // provisional: nonzero offset of node start
+      }
+    }
+    level.ptr.push_back(n);
+  }
+
+  // Convert provisional nonzero offsets into child-node offsets: each
+  // level's ptr should index the next level's node array (or leaves for
+  // the last level). The last level already points at leaves.
+  for (std::size_t l = 0; l + 2 < modes; ++l) {
+    auto& level = out.levels_[l];
+    const auto& child = out.levels_[l + 1];
+    // child.ptr currently holds node-start nonzero offsets (sorted); map
+    // each of this level's nonzero offsets to the child node rank.
+    std::vector<nnz_t> remapped(level.ptr.size());
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < level.ptr.size(); ++i) {
+      while (cursor + 1 < child.ptr.size() &&
+             child.ptr[cursor] < level.ptr[i]) {
+        ++cursor;
+      }
+      remapped[i] = cursor;
+    }
+    remapped.back() = child.idx.size();
+    level.ptr = std::move(remapped);
+  }
+  return out;
+}
+
+std::uint64_t CsfTensor::storage_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& level : levels_) {
+    bytes += level.idx.size() * sizeof(index_t) +
+             level.ptr.size() * sizeof(nnz_t);
+  }
+  bytes += leaf_idx_.size() * sizeof(index_t) +
+           values_.size() * sizeof(value_t);
+  return bytes;
+}
+
+std::vector<nnz_t> CsfTensor::level_sizes() const {
+  std::vector<nnz_t> out;
+  out.reserve(levels_.size() + 1);
+  for (const auto& level : levels_) out.push_back(level.idx.size());
+  out.push_back(values_.size());
+  return out;
+}
+
+namespace {
+
+// Accumulates the rank-vector of subtree `node` at `level`, multiplying
+// factor rows on the way up — the fiber-wise kernel structure.
+void subtree_vector(const CsfTensor& csf, const FactorSet& factors,
+                    std::size_t level, nnz_t node, std::span<value_t> acc,
+                    CsfTensor::SliceStats& stats) {
+  const std::size_t rank = factors.rank();
+  std::fill(acc.begin(), acc.end(), value_t{0});
+
+  if (level + 1 == csf.num_levels()) {
+    // Children are leaves.
+    const auto& lv = csf.level(level);
+    const std::size_t leaf_mode = csf.mode_order().back();
+    for (nnz_t e = lv.ptr[node]; e < lv.ptr[node + 1]; ++e) {
+      const auto row =
+          factors.factor(leaf_mode).row(csf.leaf_indices()[e]);
+      const value_t v = csf.values()[e];
+      for (std::size_t r = 0; r < rank; ++r) acc[r] += v * row[r];
+    }
+    stats.leaves += lv.ptr[node + 1] - lv.ptr[node];
+    return;
+  }
+
+  std::array<value_t, 256> child{};
+  const auto& lv = csf.level(level);
+  const auto& next = csf.level(level + 1);
+  const std::size_t child_mode = csf.mode_order()[level + 1];
+  for (nnz_t c = lv.ptr[node]; c < lv.ptr[node + 1]; ++c) {
+    subtree_vector(csf, factors, level + 1, c,
+                   std::span<value_t>(child.data(), rank), stats);
+    const auto row = factors.factor(child_mode).row(next.idx[c]);
+    for (std::size_t r = 0; r < rank; ++r) acc[r] += child[r] * row[r];
+    ++stats.fibers;
+  }
+}
+
+}  // namespace
+
+void CsfTensor::mttkrp_root(const FactorSet& factors, DenseMatrix& out,
+                            std::vector<SliceStats>* slice_stats) const {
+  const std::size_t rank = factors.rank();
+  assert(out.rows() == dims_[mode_order_[0]] && out.cols() == rank);
+  out.set_zero();
+  if (slice_stats) {
+    slice_stats->clear();
+    slice_stats->reserve(levels_[0].idx.size());
+  }
+  std::array<value_t, 256> acc{};
+  const auto& root = levels_[0];
+  for (nnz_t node = 0; node + 1 < root.ptr.size(); ++node) {
+    SliceStats stats;
+    subtree_vector(*this, factors, 0, node,
+                   std::span<value_t>(acc.data(), rank), stats);
+    auto out_row = out.row(root.idx[node]);
+    for (std::size_t r = 0; r < rank; ++r) out_row[r] += acc[r];
+    if (slice_stats) slice_stats->push_back(stats);
+  }
+}
+
+}  // namespace amped::formats

@@ -1,0 +1,73 @@
+// Compressed Sparse Fiber (CSF) tensor — the representation behind the
+// MM-CSF baseline (Nisa et al., SC'19 / IPDPS'19) and SPLATT-style CPU
+// codes.
+//
+// A CSF tensor is a forest: level 0 holds the distinct indices of the
+// root mode, level k the distinct (prefix) indices under each level-k-1
+// node, and the leaves hold values. MTTKRP with the *root* mode as output
+// needs no atomics at all (each root subtree owns its output row), and
+// inner-mode factor rows are loaded once per fiber instead of once per
+// nonzero — the efficiency MM-CSF trades against needing one tree per
+// output mode (Table 1: "No. of modes" copies).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace amped::formats {
+
+class CsfTensor {
+ public:
+  struct Level {
+    std::vector<index_t> idx;  // node indices at this level
+    std::vector<nnz_t> ptr;    // children range in the next level / leaves
+  };
+
+  // Builds a tree with `mode_order[0]` as root. Default order: the output
+  // mode first, remaining modes in ascending order.
+  static CsfTensor build(const CooTensor& t,
+                         std::vector<std::size_t> mode_order);
+
+  std::size_t num_modes() const { return mode_order_.size(); }
+  const std::vector<std::size_t>& mode_order() const { return mode_order_; }
+  const std::vector<index_t>& dims() const { return dims_; }
+  nnz_t nnz() const { return values_.size(); }
+
+  // Levels 0 .. N-2; leaves are (leaf_idx_, values_).
+  const Level& level(std::size_t l) const { return levels_[l]; }
+  std::size_t num_levels() const { return levels_.size(); }
+  const std::vector<index_t>& leaf_indices() const { return leaf_idx_; }
+  const std::vector<value_t>& values() const { return values_; }
+
+  // Structure bytes (idx + ptr arrays + leaves), the number a GPU
+  // allocation of this tree would need.
+  std::uint64_t storage_bytes() const;
+
+  // Number of fibers (nodes) at each level, root first; leaf count last.
+  std::vector<nnz_t> level_sizes() const;
+
+  // Per-root-slice work counts, gathered during mttkrp_root for the
+  // simulator's cost model: leaves touched and internal fibers traversed.
+  struct SliceStats {
+    nnz_t leaves = 0;
+    nnz_t fibers = 0;
+  };
+
+  // MTTKRP with the root mode as output (no atomics required): out must be
+  // dim(root) x R. Accumulates fiber-wise like the GPU kernel would; when
+  // `slice_stats` is non-null it receives one entry per root slice.
+  void mttkrp_root(const FactorSet& factors, DenseMatrix& out,
+                   std::vector<SliceStats>* slice_stats = nullptr) const;
+
+ private:
+  std::vector<std::size_t> mode_order_;
+  std::vector<index_t> dims_;
+  std::vector<Level> levels_;       // N-1 levels
+  std::vector<index_t> leaf_idx_;   // leaf-mode index per nonzero
+  std::vector<value_t> values_;
+};
+
+}  // namespace amped::formats

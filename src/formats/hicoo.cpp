@@ -1,0 +1,157 @@
+#include "formats/hicoo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+namespace amped::formats {
+
+namespace {
+// Block bits must keep every within-block offset in one byte.
+constexpr unsigned kMaxBlockBits = 8;
+}  // namespace
+
+HicooTensor HicooTensor::build(const CooTensor& t, unsigned block_bits) {
+  assert(block_bits >= 1 && block_bits <= kMaxBlockBits);
+  const std::size_t modes = t.num_modes();
+  HicooTensor out;
+  out.dims_ = t.dims();
+  out.block_bits_ = block_bits;
+
+  // Sort nonzeros by block coordinates (lexicographic over block ids), so
+  // each block is one contiguous range.
+  std::vector<nnz_t> perm(t.nnz());
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  auto block_of = [&](nnz_t e, std::size_t m) {
+    return t.indices(m)[e] >> block_bits;
+  };
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (std::size_t m = 0; m < modes; ++m) {
+      const index_t ba = block_of(a, m), bb = block_of(b, m);
+      if (ba != bb) return ba < bb;
+    }
+    // Within a block keep element order stable by full coordinates for
+    // deterministic layout.
+    for (std::size_t m = 0; m < modes; ++m) {
+      if (t.indices(m)[a] != t.indices(m)[b]) {
+        return t.indices(m)[a] < t.indices(m)[b];
+      }
+    }
+    return false;
+  });
+
+  out.values_.resize(t.nnz());
+  out.offsets_.resize(t.nnz() * modes);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << block_bits) - 1);
+
+  for (nnz_t i = 0; i < perm.size(); ++i) {
+    const nnz_t e = perm[i];
+    bool new_block = (i == 0);
+    if (!new_block) {
+      for (std::size_t m = 0; m < modes && !new_block; ++m) {
+        new_block = block_of(e, m) != block_of(perm[i - 1], m);
+      }
+    }
+    if (new_block) {
+      if (!out.blocks_.empty()) out.blocks_.back().end = i;
+      Block b;
+      b.begin = i;
+      b.block_coords.reserve(modes);
+      for (std::size_t m = 0; m < modes; ++m) {
+        b.block_coords.push_back(block_of(e, m));
+      }
+      out.blocks_.push_back(std::move(b));
+    }
+    for (std::size_t m = 0; m < modes; ++m) {
+      out.offsets_[i * modes + m] =
+          static_cast<std::uint8_t>(t.indices(m)[e] & mask);
+    }
+    out.values_[i] = t.values()[e];
+  }
+  if (!out.blocks_.empty()) out.blocks_.back().end = perm.size();
+  return out;
+}
+
+std::uint64_t HicooTensor::storage_bytes() const {
+  const std::size_t modes = num_modes();
+  // Per block: block coordinates + element range pointer.
+  const std::uint64_t header =
+      blocks_.size() * (modes * sizeof(index_t) + sizeof(nnz_t));
+  return header + offsets_.size() * sizeof(std::uint8_t) +
+         values_.size() * sizeof(value_t);
+}
+
+void HicooTensor::coords_of(nnz_t e, std::span<index_t> out) const {
+  const std::size_t modes = num_modes();
+  // Binary search for the block containing element e.
+  auto it = std::upper_bound(
+      blocks_.begin(), blocks_.end(), e,
+      [](nnz_t v, const Block& b) { return v < b.begin; });
+  assert(it != blocks_.begin());
+  const Block& b = *(it - 1);
+  assert(e >= b.begin && e < b.end);
+  for (std::size_t m = 0; m < modes; ++m) {
+    out[m] = (b.block_coords[m] << block_bits_) | offsets_[e * modes + m];
+  }
+}
+
+void HicooTensor::mttkrp(const FactorSet& factors, std::size_t output_mode,
+                         DenseMatrix& out,
+                         std::vector<BlockExecStats>* stats) const {
+  const std::size_t modes = num_modes();
+  const std::size_t rank = factors.rank();
+  assert(out.rows() == dims_[output_mode] && out.cols() == rank);
+  out.set_zero();
+  if (stats) {
+    stats->clear();
+    stats->reserve(blocks_.size());
+  }
+
+  std::array<value_t, 256> scratch{};
+  std::unordered_map<index_t, nnz_t> multiplicity;
+  for (const Block& b : blocks_) {
+    BlockExecStats bs;
+    bs.nnz = b.nnz();
+    multiplicity.clear();
+    index_t run_index = 0;
+    nnz_t run_len = 0;
+    for (nnz_t e = b.begin; e < b.end; ++e) {
+      const value_t v = values_[e];
+      for (std::size_t r = 0; r < rank; ++r) scratch[r] = v;
+      index_t out_index = 0;
+      for (std::size_t m = 0; m < modes; ++m) {
+        const index_t idx =
+            (b.block_coords[m] << block_bits_) | offsets_[e * modes + m];
+        if (m == output_mode) {
+          out_index = idx;
+          continue;
+        }
+        const auto row = factors.factor(m).row(idx);
+        for (std::size_t r = 0; r < rank; ++r) scratch[r] *= row[r];
+      }
+      auto out_row = out.row(out_index);
+      for (std::size_t r = 0; r < rank; ++r) out_row[r] += scratch[r];
+
+      if (stats) {
+        if (e == b.begin || out_index != run_index) {
+          bs.max_run = std::max(bs.max_run, run_len);
+          ++bs.output_runs;
+          run_index = out_index;
+          run_len = 1;
+        } else {
+          ++run_len;
+        }
+        bs.max_multiplicity =
+            std::max(bs.max_multiplicity, ++multiplicity[out_index]);
+      }
+    }
+    if (stats) {
+      bs.max_run = std::max(bs.max_run, run_len);
+      stats->push_back(bs);
+    }
+  }
+}
+
+}  // namespace amped::formats

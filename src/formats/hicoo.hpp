@@ -1,0 +1,71 @@
+// HiCOO — Hierarchical COOrdinate format (Li et al., SC'18), the
+// representation behind the ParTI-GPU / HiCOO-GPU baselines.
+//
+// Nonzeros are grouped into B^N blocks (B a power of two); each block
+// stores its block coordinates once (index_t each) plus per-element
+// offsets within the block in one byte per mode. This compresses a 3-mode
+// COO element from 16 to ~7 bytes when blocks are dense — but on very
+// sparse billion-scale tensors most blocks hold only a few nonzeros and
+// the per-block headers dominate, which is exactly why the paper's
+// ParTI-GPU runs out of memory on Reddit while Patents (dense blocks,
+// tiny index space) fits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace amped::formats {
+
+class HicooTensor {
+ public:
+  struct Block {
+    std::vector<index_t> block_coords;  // per mode, in block units
+    nnz_t begin = 0;                    // element range [begin, end)
+    nnz_t end = 0;
+    nnz_t nnz() const { return end - begin; }
+  };
+
+  // `block_bits`: log2 of the block edge length (paper-recommended HiCOO
+  // configuration uses 128 = 7 bits).
+  static HicooTensor build(const CooTensor& t, unsigned block_bits = 7);
+
+  std::size_t num_modes() const { return dims_.size(); }
+  const std::vector<index_t>& dims() const { return dims_; }
+  nnz_t nnz() const { return values_.size(); }
+  unsigned block_bits() const { return block_bits_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  std::uint64_t storage_bytes() const;
+
+  // Reconstructs the full coordinates of element `e`.
+  void coords_of(nnz_t e, std::span<index_t> out) const;
+
+  // Per-block execution statistics for the simulator's cost model.
+  struct BlockExecStats {
+    nnz_t nnz = 0;
+    nnz_t output_runs = 0;
+    nnz_t max_run = 0;
+    nnz_t max_multiplicity = 0;
+  };
+
+  // MTTKRP for `output_mode` into `out` (block-wise kernel with atomics,
+  // like ParTI's GPU implementation). Reports per-block stats through
+  // `stats` when non-null.
+  void mttkrp(const FactorSet& factors, std::size_t output_mode,
+              DenseMatrix& out,
+              std::vector<BlockExecStats>* stats = nullptr) const;
+
+  std::span<const value_t> values() const { return values_; }
+
+ private:
+  std::vector<index_t> dims_;
+  unsigned block_bits_ = 7;
+  std::vector<Block> blocks_;
+  std::vector<std::uint8_t> offsets_;  // modes bytes per element, interleaved
+  std::vector<value_t> values_;
+};
+
+}  // namespace amped::formats

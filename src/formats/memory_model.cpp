@@ -1,0 +1,99 @@
+#include "formats/memory_model.hpp"
+
+#include <cmath>
+
+#include "tensor/types.hpp"
+
+namespace amped::formats {
+
+double expected_occupied(double capacity, double nnz) {
+  if (capacity <= 0.0) return 0.0;
+  return capacity * (1.0 - std::exp(-nnz / capacity));
+}
+
+std::uint64_t coo_bytes(std::span<const std::uint64_t> dims,
+                        std::uint64_t nnz) {
+  return nnz * (dims.size() * sizeof(index_t) + sizeof(value_t));
+}
+
+std::uint64_t csf_tree_bytes(std::span<const std::uint64_t> dims,
+                             std::uint64_t nnz, std::size_t root_mode) {
+  // Level k holds the expected distinct prefixes of length k+1, with the
+  // root mode first and the remaining modes in ascending order.
+  double bytes = 0.0;
+  double prefix_space = 0.0;
+  bool first = true;
+  std::size_t seen = 0;
+  auto visit = [&](std::uint64_t dim) {
+    prefix_space = first ? static_cast<double>(dim)
+                         : prefix_space * static_cast<double>(dim);
+    first = false;
+    ++seen;
+    if (seen < dims.size()) {
+      const double nodes =
+          expected_occupied(prefix_space, static_cast<double>(nnz));
+      bytes += nodes * (sizeof(index_t) + sizeof(nnz_t));  // idx + ptr
+    }
+  };
+  visit(dims[root_mode]);
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    if (m != root_mode) visit(dims[m]);
+  }
+  // Leaves: index + value per nonzero.
+  bytes += static_cast<double>(nnz) * (sizeof(index_t) + sizeof(value_t));
+  return static_cast<std::uint64_t>(bytes);
+}
+
+std::uint64_t mmcsf_bytes(std::span<const std::uint64_t> dims,
+                          std::uint64_t nnz) {
+  // Mixed-mode structure ~ the largest single tree, plus per-mode fiber
+  // schedules (one nnz_t per fiber per mode) and the kernel's fiber
+  // partial-product workspace — ~8 extra bytes per nonzero in total,
+  // mirroring the open-source implementation's allocation pattern.
+  std::uint64_t tree = 0;
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    tree = std::max(tree, csf_tree_bytes(dims, nnz, m));
+  }
+  return tree + nnz * 8;
+}
+
+std::uint64_t hicoo_bytes(std::span<const std::uint64_t> dims,
+                          std::uint64_t nnz, unsigned block_bits) {
+  const std::size_t modes = dims.size();
+  double block_space = 1.0;
+  for (std::uint64_t d : dims) {
+    block_space *= std::ceil(static_cast<double>(d) /
+                             static_cast<double>(1ull << block_bits));
+  }
+  const double blocks =
+      expected_occupied(block_space, static_cast<double>(nnz));
+  const double header_bytes =
+      blocks * (static_cast<double>(modes) * sizeof(index_t) + sizeof(nnz_t));
+  const double element_bytes =
+      static_cast<double>(nnz) *
+      (static_cast<double>(modes) * 1.0 + sizeof(value_t));
+  return static_cast<std::uint64_t>(header_bytes + element_bytes);
+}
+
+std::uint64_t flycoo_bytes(std::span<const std::uint64_t> dims,
+                           std::uint64_t nnz) {
+  // Element = indices + value + embedded shard id (§3: FLYCOO embeds shard
+  // IDs within each nonzero element); two copies resident for the
+  // dynamic-remapping ping-pong.
+  const std::uint64_t per_elem =
+      dims.size() * sizeof(index_t) + sizeof(value_t) + sizeof(index_t);
+  return 2 * nnz * per_elem;
+}
+
+std::uint64_t blco_bytes(std::uint64_t nnz) {
+  return nnz * (sizeof(std::uint64_t) + sizeof(value_t));
+}
+
+std::uint64_t factor_bytes(std::span<const std::uint64_t> dims,
+                           std::size_t rank) {
+  std::uint64_t rows = 0;
+  for (std::uint64_t d : dims) rows += d;
+  return rows * rank * sizeof(value_t);
+}
+
+}  // namespace amped::formats

@@ -1,0 +1,55 @@
+// Full-scale GPU memory footprint models per execution format.
+//
+// Benchmarks run Table 3 datasets scaled down ~2000x, but whether a
+// baseline fits in the 48 GB of an RTX 6000 Ada must be decided at *full*
+// scale — block/fiber occupancy is non-linear in nnz, so the scaled-down
+// structure cannot be extrapolated by multiplication. These analytic
+// models estimate a format's footprint from full-scale dims and nnz under
+// a uniform-occupancy approximation (expected distinct cells of a
+// capacity-C space receiving n draws: C * (1 - exp(-n/C))), plus each
+// implementation's working-set overhead. The resulting supported/OOM
+// matrix reproduces the paper's Fig. 5 outcomes: MM-CSF runs Amazon only,
+// ParTI/HiCOO-GPU run Amazon and Patents, FLYCOO-GPU (2 resident copies)
+// fits only Twitch, BLCO streams and always runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace amped::formats {
+
+// Expected number of distinct occupied cells when `nnz` elements land in a
+// space of `capacity` cells (uniform approximation).
+double expected_occupied(double capacity, double nnz);
+
+// Full-scale byte estimates. `dims` and `nnz` are the *unscaled* numbers.
+std::uint64_t coo_bytes(std::span<const std::uint64_t> dims,
+                        std::uint64_t nnz);
+
+// One CSF tree rooted at `root_mode` (idx/ptr per level + leaves).
+std::uint64_t csf_tree_bytes(std::span<const std::uint64_t> dims,
+                             std::uint64_t nnz, std::size_t root_mode);
+
+// MM-CSF working set: one tree per mode (Table 1) is replaced by the
+// mixed-mode single structure plus per-mode schedule metadata and the
+// kernel's fiber-partial workspace.
+std::uint64_t mmcsf_bytes(std::span<const std::uint64_t> dims,
+                          std::uint64_t nnz);
+
+// HiCOO with block edge 2^block_bits: per-element compressed bytes plus
+// per-nonempty-block headers (dominant on hypersparse tensors).
+std::uint64_t hicoo_bytes(std::span<const std::uint64_t> dims,
+                          std::uint64_t nnz, unsigned block_bits = 7);
+
+// FLYCOO keeps 2 tensor copies resident with embedded shard ids.
+std::uint64_t flycoo_bytes(std::span<const std::uint64_t> dims,
+                           std::uint64_t nnz);
+
+// BLCO element stream (12 B/nnz) — resident only per streamed block.
+std::uint64_t blco_bytes(std::uint64_t nnz);
+
+// Factor matrices mirrored on the device.
+std::uint64_t factor_bytes(std::span<const std::uint64_t> dims,
+                           std::size_t rank);
+
+}  // namespace amped::formats

@@ -1,0 +1,61 @@
+#include "formats/sorting.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace amped::formats {
+
+std::vector<nnz_t> lexicographic_permutation(
+    const CooTensor& t, std::span<const std::size_t> mode_order) {
+  assert(mode_order.size() == t.num_modes());
+  std::vector<nnz_t> perm(t.nnz());
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (std::size_t m : mode_order) {
+      const auto idx = t.indices(m);
+      if (idx[a] != idx[b]) return idx[a] < idx[b];
+    }
+    return false;
+  });
+  return perm;
+}
+
+void sort_lexicographic(CooTensor& t,
+                        std::span<const std::size_t> mode_order) {
+  const auto perm = lexicographic_permutation(t, mode_order);
+  t.apply_permutation(perm);
+}
+
+std::vector<unsigned> mode_bits(std::span<const index_t> dims) {
+  std::vector<unsigned> bits;
+  bits.reserve(dims.size());
+  for (index_t d : dims) {
+    unsigned b = 1;
+    while ((1ull << b) < d) ++b;
+    bits.push_back(b);
+  }
+  return bits;
+}
+
+std::uint64_t pack_coords(std::span<const index_t> coords,
+                          std::span<const unsigned> bits,
+                          std::span<const std::size_t> mode_order) {
+  std::uint64_t key = 0;
+  for (std::size_t m : mode_order) {
+    key = (key << bits[m]) | coords[m];
+  }
+  return key;
+}
+
+void unpack_coords(std::uint64_t key, std::span<const unsigned> bits,
+                   std::span<const std::size_t> mode_order,
+                   std::span<index_t> coords_out) {
+  for (std::size_t i = mode_order.size(); i-- > 0;) {
+    const std::size_t m = mode_order[i];
+    coords_out[m] = static_cast<index_t>(key & ((1ull << bits[m]) - 1));
+    key >>= bits[m];
+  }
+}
+
+}  // namespace amped::formats

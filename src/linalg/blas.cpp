@@ -1,0 +1,71 @@
+#include "linalg/blas.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace amped::linalg {
+
+DenseMatrix gram(const DenseMatrix& a) {
+  const std::size_t r = a.cols();
+  DenseMatrix g(r, r);
+  for (std::size_t row = 0; row < a.rows(); ++row) {
+    const auto ar = a.row(row);
+    for (std::size_t i = 0; i < r; ++i) {
+      const double ai = ar[i];
+      for (std::size_t j = i; j < r; ++j) {
+        g(i, j) += static_cast<value_t>(ai * ar[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    c.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return c;
+}
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const value_t aik = a(i, k);
+      if (aik == value_t{0}) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+void scale_column(DenseMatrix& a, std::size_t c, value_t s) {
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, c) *= s;
+}
+
+double column_norm(const DenseMatrix& a, std::size_t c) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    acc += static_cast<double>(a(i, c)) * a(i, c);
+  }
+  return std::sqrt(acc);
+}
+
+double dot(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * b.data()[i];
+  }
+  return acc;
+}
+
+}  // namespace amped::linalg

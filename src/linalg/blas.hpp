@@ -1,0 +1,31 @@
+// Small dense linear algebra for CPD-ALS.
+//
+// ALS needs only rank x rank (R <= 64) operations beyond MTTKRP: Gram
+// matrices of the tall factor matrices, elementwise (Hadamard) products of
+// those Grams, and a solve against the MTTKRP output. Everything here is
+// simple loop nests — the matrices are tiny, so clarity beats blocking.
+#pragma once
+
+#include "tensor/dense_matrix.hpp"
+
+namespace amped::linalg {
+
+// C = A^T * A, for a tall matrix A (rows x R). Result is R x R symmetric.
+DenseMatrix gram(const DenseMatrix& a);
+
+// C = A .* B elementwise; shapes must match.
+DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b);
+
+// C = A * B (naive triple loop; used only for R x R and validation sizes).
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+// In-place: scales column c of A by s.
+void scale_column(DenseMatrix& a, std::size_t c, value_t s);
+
+// Returns the Euclidean norm of column c.
+double column_norm(const DenseMatrix& a, std::size_t c);
+
+// Sum of elementwise products <A, B>; shapes must match.
+double dot(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace amped::linalg

@@ -1,0 +1,73 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace amped::linalg {
+
+std::optional<DenseMatrix> cholesky(const DenseMatrix& m, double ridge) {
+  assert(m.rows() == m.cols());
+  const std::size_t n = m.rows();
+  DenseMatrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = static_cast<double>(m(i, j));
+      if (i == j) sum += ridge;
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= static_cast<double>(l(i, k)) * l(j, k);
+      }
+      if (i == j) {
+        if (sum <= 0.0) return std::nullopt;
+        l(i, j) = static_cast<value_t>(std::sqrt(sum));
+      } else {
+        l(i, j) = static_cast<value_t>(sum / l(j, j));
+      }
+    }
+  }
+  return l;
+}
+
+void cholesky_solve_inplace(const DenseMatrix& l, std::span<value_t> b) {
+  const std::size_t n = l.rows();
+  assert(b.size() == n);
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      sum -= static_cast<double>(l(i, k)) * b[k];
+    }
+    b[i] = static_cast<value_t>(sum / l(i, i));
+  }
+  // Backward substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      sum -= static_cast<double>(l(k, ii)) * b[k];
+    }
+    b[ii] = static_cast<value_t>(sum / l(ii, ii));
+  }
+}
+
+void solve_normal_equations(const DenseMatrix& m, DenseMatrix& rhs) {
+  assert(m.rows() == m.cols() && m.cols() == rhs.cols());
+  double ridge = 0.0;
+  std::optional<DenseMatrix> l = cholesky(m, ridge);
+  // Rank-deficient Grams happen with unlucky initialisations; regularise
+  // with a ridge that grows until the factorisation succeeds.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) trace += m(i, i);
+  double step = std::max(1e-12, 1e-10 * trace / static_cast<double>(m.rows()));
+  while (!l) {
+    ridge = ridge == 0.0 ? step : ridge * 10.0;
+    if (ridge > 1e6 * step) {
+      throw std::runtime_error("cholesky: matrix irrecoverably singular");
+    }
+    l = cholesky(m, ridge);
+  }
+  for (std::size_t row = 0; row < rhs.rows(); ++row) {
+    cholesky_solve_inplace(*l, rhs.row(row));
+  }
+}
+
+}  // namespace amped::linalg

@@ -1,0 +1,27 @@
+// Cholesky factorisation and solves for the ALS normal equations.
+//
+// Each ALS step solves  M * X^T = G^T  where M is the Hadamard product of
+// Gram matrices (R x R, symmetric positive semi-definite) and G is the
+// MTTKRP output (I_d x R). We factor M = L L^T with a small diagonal
+// ridge fallback for rank-deficient cases, then back-substitute per row.
+#pragma once
+
+#include <optional>
+
+#include "tensor/dense_matrix.hpp"
+
+namespace amped::linalg {
+
+// Lower-triangular Cholesky factor of a symmetric matrix; returns
+// std::nullopt when the matrix is not positive definite (after `ridge`
+// has been added to the diagonal).
+std::optional<DenseMatrix> cholesky(const DenseMatrix& m, double ridge = 0.0);
+
+// Solves L L^T x = b in place for one right-hand side of length R.
+void cholesky_solve_inplace(const DenseMatrix& l, std::span<value_t> b);
+
+// Solves M * X_row^T = RHS_row^T for every row of `rhs` (I_d x R), writing
+// the solution over `rhs`. Retries with growing ridge if M is singular.
+void solve_normal_equations(const DenseMatrix& m, DenseMatrix& rhs);
+
+}  // namespace amped::linalg

@@ -1,0 +1,89 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amped::sim {
+
+double CostModel::bytes_per_nnz(std::size_t modes, std::size_t rank,
+                                const KernelProfile& profile) const {
+  const double row_bytes = static_cast<double>(rank) * sizeof(value_t);
+  const double factor_reads = static_cast<double>(modes - 1) * row_bytes *
+                              profile.factor_read_efficiency;
+  const double output_rmw = 2.0 * row_bytes * profile.output_write_efficiency;
+  return profile.coord_bytes_per_nnz + factor_reads + output_rmw;
+}
+
+double CostModel::flops_per_nnz(std::size_t modes, std::size_t rank,
+                                const KernelProfile& profile) const {
+  // (N-1)*R Hadamard multiplies plus R FMAs on the output row.
+  return (static_cast<double>(modes - 1) + 2.0) * static_cast<double>(rank) *
+         profile.flop_overhead;
+}
+
+double threadblock_utilization(std::size_t rank, std::size_t block_width) {
+  const double threads = static_cast<double>(rank * block_width);
+  return std::min(1.0, threads / 1024.0);
+}
+
+double factor_read_efficiency(std::span<const std::uint64_t> full_dims,
+                              std::size_t rank, std::size_t output_mode,
+                              std::uint64_t l2_bytes, double locality) {
+  assert(output_mode < full_dims.size());
+  if (full_dims.size() < 2) return locality;
+  double total = 0.0;
+  for (std::size_t m = 0; m < full_dims.size(); ++m) {
+    if (m == output_mode) continue;
+    const double bytes =
+        static_cast<double>(full_dims[m]) * rank * sizeof(value_t);
+    const bool cached =
+        l2_bytes > 0 && bytes <= static_cast<double>(l2_bytes);
+    total += cached ? kCachedReadFraction : 1.0;
+  }
+  return locality * total / static_cast<double>(full_dims.size() - 1);
+}
+
+double CostModel::ec_block_seconds(const EcBlockStats& stats,
+                                   const KernelProfile& profile) const {
+  assert(stats.modes >= 2 && stats.rank >= 1);
+  if (stats.nnz == 0) return 0.0;
+  const double n = static_cast<double>(stats.nnz);
+  const double row_bytes = static_cast<double>(stats.rank) * sizeof(value_t);
+
+  const double sm_flops = spec_.flops / spec_.sm_count;
+  const double sm_bw = spec_.mem_bandwidth / spec_.sm_count;
+
+  // Streams: coordinates per element; input factor rows per element
+  // (scaled by the cache/locality efficiency); output read-modify-write
+  // once per same-output run (register accumulation within a run).
+  const double runs = static_cast<double>(
+      std::min<nnz_t>(stats.nnz, std::max<nnz_t>(1, stats.output_runs)));
+  const double bytes =
+      n * profile.coord_bytes_per_nnz +
+      n * static_cast<double>(stats.modes - 1) * row_bytes *
+          profile.factor_read_efficiency +
+      runs * 2.0 * row_bytes * profile.output_write_efficiency;
+
+  const double flop_time =
+      n * flops_per_nnz(stats.modes, stats.rank, profile) / sm_flops;
+  const double byte_time = bytes / sm_bw;
+  double t = std::max(flop_time, byte_time) /
+             threadblock_utilization(stats.rank, stats.block_width);
+
+  // Atomic contention: updates to the same output row serialise. The
+  // contiguous part of the hottest row (its longest run) is mostly
+  // absorbed by register accumulation; the scattered remainder pays the
+  // full serialised cost per update.
+  if (profile.atomic_scale > 0.0 && stats.max_multiplicity > 1) {
+    const nnz_t run = std::min(stats.max_run, stats.max_multiplicity);
+    const double scattered =
+        static_cast<double>(stats.max_multiplicity - run);
+    const double sorted = kSortedAtomicDiscount *
+                          static_cast<double>(run > 0 ? run - 1 : 0);
+    t += (scattered + sorted) * static_cast<double>(stats.rank) *
+         spec_.atomic_ns * 1e-9 * profile.atomic_scale;
+  }
+  return t;
+}
+
+}  // namespace amped::sim

@@ -1,0 +1,103 @@
+// Roofline cost model for the elementwise computation (EC) kernel.
+//
+// Per nonzero, the EC of §3.0.1 performs (N-1)*R multiplies and R atomic
+// FMAs, reads the COO element and N-1 factor rows, and read-modify-writes
+// one output row. MTTKRP is memory-bound on every GPU the paper considers,
+// so a threadblock's time is max(flop time, byte time) on its SM's share
+// of device throughput, plus an atomic-contention term driven by how many
+// nonzeros in the block update the *same* output row (popular Twitch
+// streamers, §5.5). Formats differ in how efficiently they stream
+// coordinates and reuse factor rows; those effects enter through
+// KernelProfile, which each execution format (AMPED shards, BLCO, CSF,
+// HiCOO, FLYCOO) fills in with its own characteristics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sim/device.hpp"
+#include "tensor/types.hpp"
+
+namespace amped::sim {
+
+// Per-format kernel characteristics.
+struct KernelProfile {
+  // Coordinate storage bytes read per nonzero (COO: N*4+4; BLCO: 12; ...).
+  double coord_bytes_per_nnz = 16.0;
+  // Multiplier on factor-row read bytes: < 1 models fiber-level reuse
+  // (CSF reuses the parent row across a fiber; FLYCOO's remap sorts for
+  // locality), > 1 models poor locality.
+  double factor_read_efficiency = 1.0;
+  // Multiplier on the output read-modify-write bytes. Formats that
+  // accumulate a fiber in registers before one write (CSF) set < 1.
+  double output_write_efficiency = 1.0;
+  // Extra arithmetic per element as a multiplier (e.g. BLCO's index
+  // de-linearisation ALU work).
+  double flop_overhead = 1.0;
+  // Scales the atomic-contention penalty; conflict-free schedules
+  // (FLYCOO's remapping) set this near 0.
+  double atomic_scale = 1.0;
+};
+
+// Measured properties of one threadblock's worth of work, gathered by the
+// executor while it performs the real arithmetic.
+struct EcBlockStats {
+  nnz_t nnz = 0;               // nonzeros processed
+  nnz_t output_runs = 0;       // distinct output-index runs in the block
+  nnz_t max_run = 0;           // longest same-output-index run
+  nnz_t max_multiplicity = 0;  // highest count of any single output index
+  std::size_t modes = 3;
+  std::size_t rank = 32;
+  std::size_t block_width = 32;  // P: nonzeros loaded in parallel (§4.7)
+};
+
+// Threads an R x P threadblock keeps resident relative to what an SM needs
+// to hide latency; undersized blocks run proportionally slower (Fig. A4
+// ablation). 1024 resident threads saturate an Ada SM for this kernel.
+double threadblock_utilization(std::size_t rank, std::size_t block_width);
+
+class CostModel {
+ public:
+  explicit CostModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  // Simulated seconds one SM spends executing this block. Output-row
+  // read-modify-writes are charged once per output *run*, not per nonzero:
+  // a threadblock column accumulates a sorted run in registers before one
+  // write, so output-sorted layouts (AMPED shards, FLYCOO) pay almost
+  // nothing while scattered layouts pay per element (runs ~ nnz).
+  double ec_block_seconds(const EcBlockStats& stats,
+                          const KernelProfile& profile) const;
+
+  // Bytes the EC kernel moves per nonzero under `profile`, assuming
+  // scattered output (runs == nnz); a planning/documentation helper.
+  double bytes_per_nnz(std::size_t modes, std::size_t rank,
+                       const KernelProfile& profile) const;
+
+  // FLOPs per nonzero under `profile`.
+  double flops_per_nnz(std::size_t modes, std::size_t rank,
+                       const KernelProfile& profile) const;
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+// Fraction of peak DRAM traffic a factor-row gather costs when the factor
+// matrix fits in the device's last-level cache.
+inline constexpr double kCachedReadFraction = 0.08;
+
+// Register-accumulation discount for the contiguous part of a hot run in
+// the atomic-contention term (sorted kernels flush once per run).
+inline constexpr double kSortedAtomicDiscount = 0.05;
+
+// Average factor-read efficiency for `output_mode`: input-mode factor
+// matrices that fit in `l2_bytes` (at the *full-scale* dims) are charged
+// kCachedReadFraction of their traffic. `full_dims` are the unscaled mode
+// sizes; `locality` is the format's own reuse multiplier.
+double factor_read_efficiency(std::span<const std::uint64_t> full_dims,
+                              std::size_t rank, std::size_t output_mode,
+                              std::uint64_t l2_bytes, double locality = 1.0);
+
+}  // namespace amped::sim

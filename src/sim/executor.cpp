@@ -1,0 +1,38 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace amped::sim {
+
+double grid_makespan(std::span<const double> block_seconds, int sm_count) {
+  assert(sm_count > 0);
+  if (block_seconds.empty()) return 0.0;
+  if (static_cast<int>(block_seconds.size()) <= sm_count) {
+    return *std::max_element(block_seconds.begin(), block_seconds.end());
+  }
+  // Min-heap of SM available times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> sms;
+  for (int i = 0; i < sm_count; ++i) sms.push(0.0);
+  double makespan = 0.0;
+  for (double t : block_seconds) {
+    const double start = sms.top();
+    sms.pop();
+    const double end = start + t;
+    makespan = std::max(makespan, end);
+    sms.push(end);
+  }
+  return makespan;
+}
+
+double grid_occupancy(std::span<const double> block_seconds, int sm_count) {
+  double busy = 0.0;
+  for (double t : block_seconds) busy += t;
+  const double span = grid_makespan(block_seconds, sm_count);
+  if (span <= 0.0) return 1.0;
+  return busy / (span * sm_count);
+}
+
+}  // namespace amped::sim

@@ -1,0 +1,25 @@
+// Grid execution scheduling: threadblocks onto streaming multiprocessors.
+//
+// The CUDA runtime dispatches a grid's threadblocks to SMs as they go idle
+// (§4.2: "when a GPU SM finishes executing all the computations in a
+// threadblock, a new threadblock from the same Grid is assigned to the
+// SM"). That is FIFO list scheduling; `grid_makespan` reproduces it with a
+// min-heap of SM finish times. AMPED's inter-shard partitions are equal-
+// sized by construction, so FIFO is near-optimal for them; the baselines'
+// uneven fibers/blocks are where the makespan visibly exceeds the mean.
+#pragma once
+
+#include <span>
+
+namespace amped::sim {
+
+// Simulated seconds from grid launch until the last threadblock retires,
+// given each block's execution time and the device's SM count. Blocks are
+// dispatched in order to the earliest-available SM.
+double grid_makespan(std::span<const double> block_seconds, int sm_count);
+
+// Sum of per-SM busy times divided by (makespan * sm_count): the grid's
+// SM occupancy in [0, 1]. Used by tests and the imbalance analyses.
+double grid_occupancy(std::span<const double> block_seconds, int sm_count);
+
+}  // namespace amped::sim

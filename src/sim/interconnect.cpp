@@ -1,0 +1,28 @@
+#include "sim/interconnect.hpp"
+
+#include <cassert>
+
+namespace amped::sim {
+
+LinkSpec pcie_host_link() {
+  return LinkSpec{
+      .bandwidth = 50e9,  // sustained DMA on the 64 GB/s links of §5.1.1
+      .latency_s = 12e-6,
+  };
+}
+
+LinkSpec pcie_p2p_link() {
+  return LinkSpec{
+      .bandwidth = 3.0e9,  // cross-root-complex PCIe P2P, no NVLink
+      .latency_s = 30e-6,
+  };
+}
+
+double transfer_seconds(const LinkSpec& link, std::uint64_t bytes,
+                        double fixed_cost_divisor) {
+  assert(fixed_cost_divisor > 0.0);
+  return link.latency_s / fixed_cost_divisor +
+         static_cast<double>(bytes) / link.bandwidth;
+}
+
+}  // namespace amped::sim

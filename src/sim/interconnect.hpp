@@ -1,0 +1,36 @@
+// Interconnect links of the single-node multi-GPU platform (Fig. 3).
+//
+// Each GPU has its own PCIe link to the host (the paper exploits exactly
+// this: "multiple GPUs can concurrently communicate with the host CPU",
+// §5.2), and GPU pairs communicate over GPUDirect P2P. RTX 6000 Ada has no
+// NVLink (§5.1.1), so P2P rides PCIe through the root complexes of a
+// 2-socket host — which is why its sustained bandwidth preset is far below
+// the host-link bandwidth; cross-socket PCIe P2P is notoriously slow
+// (cf. Tartan, IISWC'18).
+#pragma once
+
+#include <cstdint>
+
+namespace amped::sim {
+
+struct LinkSpec {
+  double bandwidth = 1e9;  // sustained bytes/s, one direction
+  double latency_s = 0.0;  // per-transfer fixed cost
+};
+
+// PCIe Gen4 x16 host<->GPU: 64 GB/s headline (§5.1.1), sustained fraction
+// applied for large DMA streams.
+LinkSpec pcie_host_link();
+
+// GPUDirect P2P over PCIe across the dual-socket root complexes.
+LinkSpec pcie_p2p_link();
+
+// Seconds to move `bytes` across `link`. `fixed_cost_divisor` rescales the
+// latency term when the workload has been scaled down (see
+// PlatformConfig::workload_scale): shrinking a tensor 2000x must also
+// shrink fixed costs 2000x or latency would swamp the scaled-down compute
+// and distort every ratio the benchmarks report.
+double transfer_seconds(const LinkSpec& link, std::uint64_t bytes,
+                        double fixed_cost_divisor = 1.0);
+
+}  // namespace amped::sim

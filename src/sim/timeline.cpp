@@ -1,0 +1,18 @@
+#include "sim/timeline.hpp"
+
+namespace amped::sim {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCompute: return "compute";
+    case Phase::kHostToDevice: return "h2d";
+    case Phase::kDeviceToHost: return "d2h";
+    case Phase::kPeerToPeer: return "p2p";
+    case Phase::kSync: return "sync";
+    case Phase::kHostCompute: return "host";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace amped::sim

@@ -1,0 +1,63 @@
+// Per-device simulated-time accounting.
+//
+// Every simulated device keeps a Timeline that buckets elapsed simulated
+// seconds into phases (compute, host<->device transfer, peer-to-peer
+// transfer, synchronisation stall, host-side compute). The paper's Fig. 7
+// execution-time breakdown is read directly off these buckets.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace amped::sim {
+
+enum class Phase : int {
+  kCompute = 0,      // elementwise-computation kernels on a GPU
+  kHostToDevice,     // tensor shards / partitions streamed over PCIe
+  kDeviceToHost,     // partial results copied back to the host
+  kPeerToPeer,       // GPU-GPU all-gather traffic
+  kSync,             // stall at inter-GPU barriers (idle waiting)
+  kHostCompute,      // work executed on the host CPU (merges, preprocessing)
+  kCount
+};
+
+constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+const char* phase_name(Phase p);
+
+class Timeline {
+ public:
+  void add(Phase p, double seconds) {
+    totals_[static_cast<std::size_t>(p)] += seconds;
+  }
+
+  double total(Phase p) const {
+    return totals_[static_cast<std::size_t>(p)];
+  }
+
+  // Sum over all phases.
+  double sum() const {
+    double s = 0.0;
+    for (double t : totals_) s += t;
+    return s;
+  }
+
+  // Communication = H2D + D2H + P2P (the paper's "communication time").
+  double communication() const {
+    return total(Phase::kHostToDevice) + total(Phase::kDeviceToHost) +
+           total(Phase::kPeerToPeer);
+  }
+
+  void reset() { totals_.fill(0.0); }
+
+  Timeline& operator+=(const Timeline& other) {
+    for (std::size_t i = 0; i < kNumPhases; ++i) totals_[i] += other.totals_[i];
+    return *this;
+  }
+
+ private:
+  std::array<double, kNumPhases> totals_{};
+};
+
+}  // namespace amped::sim

@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace amped::sim {
+
+void TraceLog::record(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+double TraceLog::total(Phase phase, int device) const {
+  double acc = 0.0;
+  for (const auto& e : events_) {
+    if (e.phase != phase) continue;
+    if (device != -2 && e.device != device) continue;
+    acc += e.duration_s;
+  }
+  return acc;
+}
+
+void TraceLog::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) out << ',';
+    first = false;
+    // Complete event ("ph":"X"): ts/dur in microseconds.
+    out << "{\"name\":\""
+        << (e.label.empty() ? phase_name(e.phase) : e.label)
+        << "\",\"cat\":\"" << phase_name(e.phase)
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.device
+        << ",\"ts\":" << e.start_s * 1e6 << ",\"dur\":" << e.duration_s * 1e6
+        << "}";
+  }
+  out << "]}";
+}
+
+void TraceLog::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace: cannot open " + path + " for writing");
+  }
+  write_chrome_json(out);
+}
+
+}  // namespace amped::sim

@@ -1,0 +1,56 @@
+// Optional per-event tracing of the simulated platform.
+//
+// The Timeline buckets only totals; when diagnosing scheduling decisions
+// (why did GPU 2 idle during mode 1?) you want the actual event sequence.
+// TraceLog records (device, phase, start, duration, label) tuples and can
+// export Chrome trace-event JSON, which chrome://tracing and Perfetto
+// render as one row per simulated device. Tracing is opt-in via
+// Platform::attach_trace — the hot paths pay nothing when no trace is
+// attached.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/timeline.hpp"
+
+namespace amped::sim {
+
+struct TraceEvent {
+  int device = 0;  // GPU id, or -1 for the host
+  Phase phase = Phase::kCompute;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  std::string label;
+};
+
+class TraceLog {
+ public:
+  // `capacity` bounds memory; once full, further events are counted but
+  // dropped (dropped() reports how many).
+  explicit TraceLog(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  void record(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  // Total duration attributed to `phase` on `device` (-2 = any device).
+  double total(Phase phase, int device = -2) const;
+
+  // Chrome trace-event JSON ("traceEvents" array of complete events, one
+  // process, one thread per device). Times are emitted in microseconds.
+  void write_chrome_json(std::ostream& out) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace amped::sim

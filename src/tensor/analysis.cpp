@@ -1,0 +1,70 @@
+#include "tensor/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace amped {
+
+TensorAnalysis analyze(const CooTensor& t) {
+  TensorAnalysis out;
+  out.nnz = t.nnz();
+  double cells = 1.0;
+  for (index_t d : t.dims()) cells *= static_cast<double>(d);
+  out.density = cells > 0 ? static_cast<double>(t.nnz()) / cells : 0.0;
+
+  out.modes.reserve(t.num_modes());
+  for (std::size_t m = 0; m < t.num_modes(); ++m) {
+    ModeAnalysis ma;
+    ma.mode = m;
+    ma.dim = t.dim(m);
+    std::vector<double> counts(ma.dim, 0.0);
+    for (index_t i : t.indices(m)) counts[i] += 1.0;
+    for (double c : counts) {
+      if (c > 0) ++ma.used_indices;
+      ma.max_multiplicity =
+          std::max<nnz_t>(ma.max_multiplicity, static_cast<nnz_t>(c));
+    }
+    ma.mean_multiplicity =
+        ma.used_indices > 0
+            ? static_cast<double>(t.nnz()) /
+                  static_cast<double>(ma.used_indices)
+            : 0.0;
+    ma.gini = gini(counts);
+    ma.hottest_share =
+        t.nnz() > 0 ? static_cast<double>(ma.max_multiplicity) /
+                          static_cast<double>(t.nnz())
+                    : 0.0;
+    out.modes.push_back(ma);
+  }
+  return out;
+}
+
+nnz_t count_fibers(const CooTensor& t, std::size_t mode_a,
+                   std::size_t mode_b) {
+  std::unordered_set<std::uint64_t> pairs;
+  pairs.reserve(static_cast<std::size_t>(t.nnz()));
+  const auto a = t.indices(mode_a);
+  const auto b = t.indices(mode_b);
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    pairs.insert((static_cast<std::uint64_t>(a[n]) << 32) | b[n]);
+  }
+  return pairs.size();
+}
+
+std::string TensorAnalysis::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << nnz << " nnz, density " << density << '\n';
+  for (const auto& m : modes) {
+    os << "  mode " << m.mode << ": dim " << m.dim << ", used "
+       << m.used_indices << ", mean dup " << m.mean_multiplicity
+       << ", hottest " << 100.0 * m.hottest_share << "% of nnz, gini "
+       << m.gini << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace amped

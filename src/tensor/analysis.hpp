@@ -1,0 +1,48 @@
+// Sparse-tensor structure analysis.
+//
+// The quantities that decide how MTTKRP behaves on a given tensor: how
+// nonzeros concentrate on indices (atomic contention, shard balance), how
+// many fibers each mode has (CSF efficiency), and how densely blocks are
+// occupied (HiCOO efficiency). The examples and docs use these to explain
+// why each Table 3 tensor behaves the way it does; the generator tests
+// use them to validate the synthetic profiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace amped {
+
+struct ModeAnalysis {
+  std::size_t mode = 0;
+  index_t dim = 0;
+  nnz_t used_indices = 0;        // indices with at least one nonzero
+  nnz_t max_multiplicity = 0;    // nonzeros on the hottest index
+  double mean_multiplicity = 0;  // nnz / used_indices
+  double gini = 0.0;             // popularity skew in [0, 1)
+  // Share of all nonzeros held by the hottest index — the quantity that
+  // bounds AMPED's inter-GPU balance (a share above 1/num_gpus cannot be
+  // split, because a shard is the atomic unit of placement).
+  double hottest_share = 0.0;
+};
+
+struct TensorAnalysis {
+  std::vector<ModeAnalysis> modes;
+  nnz_t nnz = 0;
+  double density = 0.0;  // nnz / prod(dims)
+
+  std::string to_string() const;
+};
+
+// Full per-mode scan of `t` (O(nnz x modes) time, O(max dim) space).
+TensorAnalysis analyze(const CooTensor& t);
+
+// Number of distinct (mode_a, mode_b) index pairs — the fiber count of a
+// CSF tree rooted so those two modes are the top levels.
+nnz_t count_fibers(const CooTensor& t, std::size_t mode_a,
+                   std::size_t mode_b);
+
+}  // namespace amped

@@ -1,0 +1,127 @@
+#include "tensor/coo_tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace amped {
+
+CooTensor::CooTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  assert(!dims_.empty() && dims_.size() <= kMaxModes);
+  index_.resize(dims_.size());
+}
+
+void CooTensor::push_back(std::span<const index_t> coords, value_t value) {
+  assert(coords.size() == num_modes());
+  for (std::size_t m = 0; m < num_modes(); ++m) {
+    index_[m].push_back(coords[m]);
+  }
+  values_.push_back(value);
+}
+
+void CooTensor::reserve(nnz_t n) {
+  for (auto& v : index_) v.reserve(n);
+  values_.reserve(n);
+}
+
+void CooTensor::apply_permutation(std::span<const nnz_t> perm) {
+  assert(perm.size() == nnz());
+  std::vector<value_t> new_vals(values_.size());
+  for (nnz_t i = 0; i < perm.size(); ++i) new_vals[i] = values_[perm[i]];
+  values_ = std::move(new_vals);
+  for (auto& idx : index_) {
+    std::vector<index_t> next(idx.size());
+    for (nnz_t i = 0; i < perm.size(); ++i) next[i] = idx[perm[i]];
+    idx = std::move(next);
+  }
+}
+
+void CooTensor::sort_by_mode(std::size_t major_mode) {
+  assert(major_mode < num_modes());
+  std::vector<nnz_t> perm(nnz());
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  // Key order: major mode first, then the remaining modes ascending.
+  std::vector<std::size_t> key_order;
+  key_order.push_back(major_mode);
+  for (std::size_t m = 0; m < num_modes(); ++m) {
+    if (m != major_mode) key_order.push_back(m);
+  }
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (std::size_t m : key_order) {
+      if (index_[m][a] != index_[m][b]) return index_[m][a] < index_[m][b];
+    }
+    return false;
+  });
+  apply_permutation(perm);
+}
+
+nnz_t CooTensor::coalesce() {
+  if (nnz() == 0) return 0;
+  const nnz_t n = nnz();
+  nnz_t write = 0;
+  auto same_coords = [&](nnz_t a, nnz_t b) {
+    for (std::size_t m = 0; m < num_modes(); ++m) {
+      if (index_[m][a] != index_[m][b]) return false;
+    }
+    return true;
+  };
+  for (nnz_t read = 1; read < n; ++read) {
+    if (same_coords(write, read)) {
+      values_[write] += values_[read];
+    } else {
+      ++write;
+      for (std::size_t m = 0; m < num_modes(); ++m) {
+        index_[m][write] = index_[m][read];
+      }
+      values_[write] = values_[read];
+    }
+  }
+  const nnz_t kept = write + 1;
+  for (auto& idx : index_) idx.resize(kept);
+  values_.resize(kept);
+  return n - kept;
+}
+
+bool CooTensor::indices_in_bounds() const {
+  for (std::size_t m = 0; m < num_modes(); ++m) {
+    for (index_t idx : index_[m]) {
+      if (idx >= dims_[m]) return false;
+    }
+  }
+  return true;
+}
+
+void CooTensor::coords_of(nnz_t n, std::span<index_t> out) const {
+  assert(n < nnz() && out.size() >= num_modes());
+  for (std::size_t m = 0; m < num_modes(); ++m) out[m] = index_[m][n];
+}
+
+namespace {
+std::string human_count(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  if (v >= 1e9) {
+    os << v / 1e9 << "B";
+  } else if (v >= 1e6) {
+    os << v / 1e6 << "M";
+  } else if (v >= 1e3) {
+    os << v / 1e3 << "K";
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+}  // namespace
+
+std::string CooTensor::shape_string() const {
+  std::ostringstream os;
+  for (std::size_t m = 0; m < num_modes(); ++m) {
+    if (m) os << " x ";
+    os << human_count(static_cast<double>(dims_[m]));
+  }
+  os << ", " << human_count(static_cast<double>(nnz())) << " nnz";
+  return os.str();
+}
+
+}  // namespace amped

@@ -1,0 +1,77 @@
+// N-mode sparse tensor in COOrdinate (COO) format, structure-of-arrays.
+//
+// COO is the interchange format of this project: generators produce it,
+// the FROSTT .tns reader parses into it, and every execution format
+// (AMPED shards, CSF, HiCOO, BLCO) is built from a COO tensor during
+// preprocessing. Indices are stored one contiguous array per mode (SoA)
+// so mode-specific passes stream exactly the coordinates they touch.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/types.hpp"
+
+namespace amped {
+
+class CooTensor {
+ public:
+  CooTensor() = default;
+
+  // Creates an empty tensor with the given mode sizes.
+  explicit CooTensor(std::vector<index_t> dims);
+
+  std::size_t num_modes() const { return dims_.size(); }
+  nnz_t nnz() const { return values_.size(); }
+  const std::vector<index_t>& dims() const { return dims_; }
+  index_t dim(std::size_t mode) const { return dims_[mode]; }
+
+  std::span<const index_t> indices(std::size_t mode) const {
+    return index_[mode];
+  }
+  std::span<index_t> mutable_indices(std::size_t mode) { return index_[mode]; }
+  std::span<const value_t> values() const { return values_; }
+  std::span<value_t> mutable_values() { return values_; }
+
+  // Appends one nonzero. `coords` must have num_modes() entries.
+  void push_back(std::span<const index_t> coords, value_t value);
+  void reserve(nnz_t n);
+
+  // Sorts nonzeros lexicographically with `major_mode` as the most
+  // significant key, remaining modes in ascending mode order. This is the
+  // order in which an output-mode-d tensor copy is laid out.
+  void sort_by_mode(std::size_t major_mode);
+
+  // Merges duplicate coordinates (summing values). Requires any sorted
+  // order; returns the number of merged-away entries.
+  nnz_t coalesce();
+
+  // True when every index is within its mode size.
+  bool indices_in_bounds() const;
+
+  // Bytes one nonzero occupies in COO (indices + value); used by the
+  // simulator's memory-capacity and transfer accounting.
+  std::size_t bytes_per_nnz() const {
+    return num_modes() * sizeof(index_t) + sizeof(value_t);
+  }
+  std::size_t storage_bytes() const { return nnz() * bytes_per_nnz(); }
+
+  // Gathers the coordinates of nonzero `n` into `out` (size >= num_modes).
+  void coords_of(nnz_t n, std::span<index_t> out) const;
+
+  // Human-readable "8.2M x 177K x 8.1M, 4.7B nnz"-style description.
+  std::string shape_string() const;
+
+  // Applies `perm` (a permutation of [0, nnz)) to all index arrays and the
+  // value array: element i of the result is element perm[i] of the input.
+  void apply_permutation(std::span<const nnz_t> perm);
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<std::vector<index_t>> index_;  // index_[mode][n]
+  std::vector<value_t> values_;
+};
+
+}  // namespace amped

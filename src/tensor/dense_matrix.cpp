@@ -1,0 +1,52 @@
+#include "tensor/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace amped {
+
+void DenseMatrix::set_zero() {
+  std::fill(data_.begin(), data_.end(), value_t{0});
+}
+
+void DenseMatrix::fill_random(Rng& rng, value_t lo, value_t hi) {
+  for (auto& v : data_) {
+    v = static_cast<value_t>(rng.next_double(lo, hi));
+  }
+}
+
+double DenseMatrix::frob_sq() const {
+  double acc = 0.0;
+  for (value_t v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(a.data_[i]) - b.data_[i]));
+  }
+  return worst;
+}
+
+FactorSet::FactorSet(std::span<const index_t> dims, std::size_t rank,
+                     Rng& rng)
+    : rank_(rank) {
+  factors_.reserve(dims.size());
+  for (index_t d : dims) {
+    DenseMatrix m(d, rank);
+    m.fill_random(rng);
+    factors_.push_back(std::move(m));
+  }
+}
+
+std::size_t FactorSet::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : factors_) total += f.bytes();
+  return total;
+}
+
+}  // namespace amped

@@ -1,0 +1,81 @@
+// Dense row-major matrix: factor matrices and small ALS workspaces.
+//
+// Factor matrices in CPD are tall and skinny (I_d rows, rank R columns,
+// R = 32 by default), accessed row-at-a-time by MTTKRP. Row-major layout
+// makes each factor-row gather one contiguous read, which is also what the
+// simulator's cost model charges for.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/types.hpp"
+#include "util/random.hpp"
+
+namespace amped {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, value_t fill = 0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  value_t& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  value_t operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<value_t> row(std::size_t r) {
+    return std::span<value_t>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const value_t> row(std::size_t r) const {
+    return std::span<const value_t>(data_.data() + r * cols_, cols_);
+  }
+
+  std::span<value_t> data() { return data_; }
+  std::span<const value_t> data() const { return data_; }
+
+  std::size_t bytes() const { return data_.size() * sizeof(value_t); }
+
+  void set_zero();
+  void fill_random(Rng& rng, value_t lo = 0.0f, value_t hi = 1.0f);
+
+  // Frobenius norm squared.
+  double frob_sq() const;
+
+  // Max |a - b| over all entries; matrices must be the same shape.
+  static double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+// The set of factor matrices of a CPD model: one I_d x R matrix per mode.
+class FactorSet {
+ public:
+  FactorSet() = default;
+  FactorSet(std::span<const index_t> dims, std::size_t rank, Rng& rng);
+
+  std::size_t num_modes() const { return factors_.size(); }
+  std::size_t rank() const { return rank_; }
+
+  DenseMatrix& factor(std::size_t mode) { return factors_[mode]; }
+  const DenseMatrix& factor(std::size_t mode) const { return factors_[mode]; }
+
+  // Total bytes of all factor matrices (what each simulated GPU mirrors).
+  std::size_t total_bytes() const;
+
+ private:
+  std::size_t rank_ = 0;
+  std::vector<DenseMatrix> factors_;
+};
+
+}  // namespace amped

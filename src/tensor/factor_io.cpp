@@ -1,0 +1,112 @@
+#include "tensor/factor_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace amped {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'M', 'P', 'F', 'A', 'C', '0', '1'};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("factor_io: " + what);
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+}  // namespace
+
+void write_model_file(const CpdModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(out, model.factors.size());
+  write_pod<std::uint64_t>(out, model.lambda.size());
+  write_pod<double>(out, model.fit);
+  for (double l : model.lambda) write_pod<double>(out, l);
+  for (const auto& f : model.factors) {
+    write_pod<std::uint64_t>(out, f.rows());
+    write_pod<std::uint64_t>(out, f.cols());
+    out.write(reinterpret_cast<const char*>(f.data().data()),
+              static_cast<std::streamsize>(f.bytes()));
+  }
+  if (!out) fail("short write to " + path);
+}
+
+CpdModel read_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic in " + path);
+  }
+  CpdModel model;
+  const auto modes = read_pod<std::uint64_t>(in);
+  const auto rank = read_pod<std::uint64_t>(in);
+  model.fit = read_pod<double>(in);
+  if (!in || modes == 0 || modes > 64) fail("bad header in " + path);
+  model.lambda.resize(rank);
+  for (auto& l : model.lambda) l = read_pod<double>(in);
+  model.factors.reserve(modes);
+  for (std::uint64_t m = 0; m < modes; ++m) {
+    const auto rows = read_pod<std::uint64_t>(in);
+    const auto cols = read_pod<std::uint64_t>(in);
+    if (!in || cols != rank) fail("inconsistent factor shape in " + path);
+    DenseMatrix f(rows, cols);
+    in.read(reinterpret_cast<char*>(f.data().data()),
+            static_cast<std::streamsize>(f.bytes()));
+    model.factors.push_back(std::move(f));
+  }
+  if (!in) fail("truncated file " + path);
+  return model;
+}
+
+void write_matrix_text(const DenseMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path + " for writing");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c) out << ' ';
+      out << m(r, c);
+    }
+    out << '\n';
+  }
+}
+
+DenseMatrix read_matrix_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::vector<std::vector<value_t>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::vector<value_t> row;
+    value_t v;
+    while (ls >> v) row.push_back(v);
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      fail("ragged rows in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) fail("empty matrix in " + path);
+  DenseMatrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+}  // namespace amped

@@ -1,0 +1,32 @@
+// Persistence for decomposition results.
+//
+// Billion-scale CPD runs take long enough that users checkpoint factor
+// matrices between ALS sweeps and export the final model for downstream
+// use. Two formats: a versioned little-endian binary (`.ampfac`) that
+// round-trips a whole FactorSet + lambda exactly, and a plain-text matrix
+// dump for interchange with numpy/Julia tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/dense_matrix.hpp"
+
+namespace amped {
+
+struct CpdModel {
+  std::vector<DenseMatrix> factors;  // one I_d x R matrix per mode
+  std::vector<double> lambda;        // component weights (size R)
+  double fit = 0.0;
+};
+
+// Binary round trip (magic "AMPFAC01"). Throws std::runtime_error on I/O
+// or format errors.
+void write_model_file(const CpdModel& model, const std::string& path);
+CpdModel read_model_file(const std::string& path);
+
+// One matrix as whitespace-separated text, one row per line.
+void write_matrix_text(const DenseMatrix& m, const std::string& path);
+DenseMatrix read_matrix_text(const std::string& path);
+
+}  // namespace amped

@@ -1,0 +1,126 @@
+#include "tensor/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace amped {
+
+namespace {
+
+// Multiplicative hash permutation of [0, n): maps Zipf's rank order (hot
+// index 0, 1, 2, ...) onto scattered positions. A fixed odd multiplier and
+// modular reduction gives a cheap bijection when n is not a power of two;
+// we use a Feistel-lite mix over the smallest power of two >= n with
+// cycle-walking to stay inside [0, n).
+class IndexScatter {
+ public:
+  IndexScatter(std::uint64_t n, std::uint64_t salt) : n_(n) {
+    bits_ = 1;
+    while ((1ULL << bits_) < n_) ++bits_;
+    mask_ = (1ULL << bits_) - 1;
+    SplitMix64 sm(salt);
+    k0_ = sm.next() | 1ULL;
+    k1_ = sm.next() | 1ULL;
+    c0_ = sm.next() & mask_;
+    c1_ = sm.next() & mask_;
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    assert(x < n_);
+    if (n_ <= 2) return x;
+    do {
+      x = mix(x);
+    } while (x >= n_);  // cycle-walk back into range
+    return x;
+  }
+
+ private:
+  std::uint64_t mix(std::uint64_t x) const {
+    // Two rounds of affine-multiply + xorshift confined to `bits_` bits;
+    // a bijection on [0, 2^bits) because each step is invertible mod
+    // 2^bits (odd multiplier, xor-shift, additive constant).
+    x = (x * k0_ + c0_) & mask_;
+    x ^= x >> (bits_ / 2 + 1);
+    x = (x * k1_ + c1_) & mask_;
+    x ^= x >> (bits_ / 2 + 1);
+    return x & mask_;
+  }
+
+  std::uint64_t n_, mask_, k0_, k1_, c0_ = 0, c1_ = 0;
+  unsigned bits_ = 1;
+};
+
+}  // namespace
+
+CooTensor generate_random(const GeneratorOptions& options) {
+  const std::size_t modes = options.dims.size();
+  if (modes == 0 || modes > kMaxModes) {
+    throw std::invalid_argument("generate_random: bad mode count");
+  }
+  for (index_t d : options.dims) {
+    if (d == 0) throw std::invalid_argument("generate_random: zero dim");
+  }
+  if (!options.zipf_exponents.empty() &&
+      options.zipf_exponents.size() != modes) {
+    throw std::invalid_argument("generate_random: exponent count mismatch");
+  }
+
+  Rng rng(options.seed);
+  std::vector<ZipfSampler> samplers;
+  std::vector<IndexScatter> scatters;
+  samplers.reserve(modes);
+  scatters.reserve(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    const double s =
+        options.zipf_exponents.empty() ? 0.0 : options.zipf_exponents[m];
+    samplers.emplace_back(options.dims[m], s);
+    scatters.emplace_back(options.dims[m], options.seed * 1315423911ULL + m);
+  }
+
+  CooTensor t(options.dims);
+  t.reserve(options.nnz);
+  std::array<index_t, kMaxModes> coords{};
+  for (nnz_t n = 0; n < options.nnz; ++n) {
+    for (std::size_t m = 0; m < modes; ++m) {
+      const std::uint64_t ranked = samplers[m](rng);
+      coords[m] = static_cast<index_t>(scatters[m](ranked));
+    }
+    const auto value = static_cast<value_t>(
+        rng.next_double(options.value_lo, options.value_hi));
+    t.push_back(std::span<const index_t>(coords.data(), modes), value);
+  }
+
+  if (options.coalesce_duplicates) {
+    t.sort_by_mode(0);
+    t.coalesce();
+  }
+  return t;
+}
+
+ScaledDataset generate_scaled(const DatasetProfile& profile, double scale,
+                              index_t min_mode_keep) {
+  if (scale < 1.0) {
+    throw std::invalid_argument("generate_scaled: scale must be >= 1");
+  }
+  GeneratorOptions opt;
+  opt.seed = profile.seed;
+  opt.zipf_exponents = profile.zipf_exponents;
+  opt.nnz = static_cast<nnz_t>(
+      std::max<double>(1.0, static_cast<double>(profile.full_nnz) / scale));
+  opt.dims.reserve(profile.num_modes());
+  for (std::uint64_t d : profile.full_dims) {
+    std::uint64_t scaled = d;
+    if (d > min_mode_keep) {
+      scaled = std::max<std::uint64_t>(
+          min_mode_keep, static_cast<std::uint64_t>(
+                             static_cast<double>(d) / scale));
+    }
+    opt.dims.push_back(static_cast<index_t>(scaled));
+  }
+  ScaledDataset out{generate_random(opt), profile, scale};
+  return out;
+}
+
+}  // namespace amped

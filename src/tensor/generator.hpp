@@ -1,0 +1,49 @@
+// Synthetic sparse tensor generation.
+//
+// Two entry points: `generate_random` builds an arbitrary tensor from
+// explicit dims / nnz / skew (used throughout the tests), and
+// `generate_scaled` materialises a Table 3 DatasetProfile at a reduced
+// scale (used by the benchmarks). Generation is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/profiles.hpp"
+#include "util/random.hpp"
+
+namespace amped {
+
+struct GeneratorOptions {
+  std::vector<index_t> dims;
+  nnz_t nnz = 0;
+  std::vector<double> zipf_exponents;  // empty == all uniform
+  std::uint64_t seed = 1;
+  bool coalesce_duplicates = false;  // merge repeated coordinates
+  value_t value_lo = 0.5f;           // value range; default keeps values
+  value_t value_hi = 1.5f;           //   positive and O(1) for stable fits
+};
+
+// Draws `nnz` coordinates mode-independently (mode m ~ Zipf(s_m) over
+// [0, dims[m])), with a deterministic per-mode shuffle of the index space
+// so hot indices are scattered rather than clustered at 0 — real datasets'
+// popular rows are not contiguous, and contiguous hot rows would make the
+// contiguous-range sharding look artificially bad (hot shard) or good.
+CooTensor generate_random(const GeneratorOptions& options);
+
+// Materialises `profile` at 1/scale of its full nonzero count. Mode sizes
+// > `min_mode_keep` shrink by the same factor (preserving nnz/dim ratios
+// and, critically, the factor-matrix-bytes : nonzero-bytes ratio that the
+// all-gather cost depends on), clamped below at `min_mode_keep`; smaller
+// modes keep their full size. scale == 1 reproduces full size (do not
+// attempt for billion-scale profiles on this machine).
+struct ScaledDataset {
+  CooTensor tensor;
+  DatasetProfile profile;  // original full-scale profile
+  double scale = 1.0;      // nnz reduction factor actually applied
+};
+ScaledDataset generate_scaled(const DatasetProfile& profile, double scale,
+                              index_t min_mode_keep = 64);
+
+}  // namespace amped

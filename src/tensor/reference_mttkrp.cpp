@@ -1,0 +1,66 @@
+#include "tensor/reference_mttkrp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace amped {
+
+DenseMatrix reference_mttkrp(const CooTensor& t, const FactorSet& factors,
+                             std::size_t output_mode) {
+  assert(output_mode < t.num_modes());
+  assert(factors.num_modes() == t.num_modes());
+  const std::size_t rank = factors.rank();
+  const std::size_t modes = t.num_modes();
+
+  // Double-precision accumulator, converted to value_t at the end.
+  std::vector<double> acc(static_cast<std::size_t>(t.dim(output_mode)) * rank,
+                          0.0);
+  std::array<double, 256> scratch{};  // rank <= 256 in this project
+  assert(rank <= scratch.size());
+
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    const double val = t.values()[n];
+    for (std::size_t r = 0; r < rank; ++r) scratch[r] = val;
+    for (std::size_t w = 0; w < modes; ++w) {
+      if (w == output_mode) continue;
+      const auto row = factors.factor(w).row(t.indices(w)[n]);
+      for (std::size_t r = 0; r < rank; ++r) {
+        scratch[r] *= static_cast<double>(row[r]);
+      }
+    }
+    const std::size_t base =
+        static_cast<std::size_t>(t.indices(output_mode)[n]) * rank;
+    for (std::size_t r = 0; r < rank; ++r) acc[base + r] += scratch[r];
+  }
+
+  DenseMatrix out(t.dim(output_mode), rank);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    out.data()[i] = static_cast<value_t>(acc[i]);
+  }
+  return out;
+}
+
+std::vector<DenseMatrix> reference_mttkrp_all_modes(const CooTensor& t,
+                                                    const FactorSet& factors) {
+  std::vector<DenseMatrix> outs;
+  outs.reserve(t.num_modes());
+  for (std::size_t d = 0; d < t.num_modes(); ++d) {
+    outs.push_back(reference_mttkrp(t, factors, d));
+  }
+  return outs;
+}
+
+double relative_max_diff(const DenseMatrix& reference,
+                         const DenseMatrix& candidate) {
+  double scale = 0.0;
+  for (value_t v : reference.data()) {
+    scale = std::max(scale, std::abs(static_cast<double>(v)));
+  }
+  if (scale == 0.0) scale = 1.0;
+  return DenseMatrix::max_abs_diff(reference, candidate) / scale;
+}
+
+}  // namespace amped

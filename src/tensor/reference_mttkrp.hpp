@@ -1,0 +1,31 @@
+// Sequential reference MTTKRP — the golden model every execution path
+// (AMPED multi-GPU, each baseline) is verified against in the tests.
+//
+// For output mode d, computes  Y_d(i_d, r) += val(x) * prod_{w != d} Y_w(i_w, r)
+// for every nonzero x, i.e. Equation (1) of the paper evaluated nonzero-
+// wise. Accumulation is done in double precision so the reference is a
+// numerically tighter target than any parallel order; comparisons use a
+// tolerance proportional to the per-row accumulation depth.
+#pragma once
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace amped {
+
+// Computes MTTKRP for one output mode into a fresh matrix.
+DenseMatrix reference_mttkrp(const CooTensor& t, const FactorSet& factors,
+                             std::size_t output_mode);
+
+// Computes MTTKRP along all modes (the paper's performance unit, §5.1.6),
+// returning one output matrix per mode. Factor matrices are treated as
+// constant inputs for every mode (no ALS update in between) so results are
+// order-independent and parallel implementations can be compared per mode.
+std::vector<DenseMatrix> reference_mttkrp_all_modes(const CooTensor& t,
+                                                    const FactorSet& factors);
+
+// Relative comparison helper: max |a-b| scaled by max |reference| entry.
+double relative_max_diff(const DenseMatrix& reference,
+                         const DenseMatrix& candidate);
+
+}  // namespace amped

@@ -1,0 +1,163 @@
+#include "tensor/tns_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace amped {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'M', 'P', 'T', 'N', 'S', '0', '1'};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tns_io: " + what);
+}
+}  // namespace
+
+CooTensor read_tns(std::istream& in) {
+  std::vector<index_t> declared_dims;
+  std::vector<std::vector<index_t>> cols;  // raw 1-based columns
+  std::vector<value_t> vals;
+  std::size_t num_modes = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Optional "# dims: a b c" header.
+      auto pos = line.find("dims:");
+      if (pos != std::string::npos) {
+        std::istringstream hs(line.substr(pos + 5));
+        index_t d;
+        while (hs >> d) declared_dims.push_back(d);
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::vector<double> fields;
+    double f;
+    while (ls >> f) fields.push_back(f);
+    if (fields.size() < 2) fail("line with fewer than 2 fields: " + line);
+    if (num_modes == 0) {
+      num_modes = fields.size() - 1;
+      if (num_modes > kMaxModes) fail("too many modes");
+      cols.resize(num_modes);
+    } else if (fields.size() - 1 != num_modes) {
+      fail("inconsistent mode count on line: " + line);
+    }
+    for (std::size_t m = 0; m < num_modes; ++m) {
+      if (fields[m] < 1) fail("index < 1 (FROSTT is 1-based): " + line);
+      cols[m].push_back(static_cast<index_t>(fields[m]));
+    }
+    vals.push_back(static_cast<value_t>(fields[num_modes]));
+  }
+  if (num_modes == 0) fail("empty tensor stream");
+
+  std::vector<index_t> dims(num_modes, 0);
+  for (std::size_t m = 0; m < num_modes; ++m) {
+    for (index_t v : cols[m]) dims[m] = std::max(dims[m], v);  // 1-based max
+  }
+  if (!declared_dims.empty()) {
+    if (declared_dims.size() != num_modes) fail("dims header mode mismatch");
+    for (std::size_t m = 0; m < num_modes; ++m) {
+      if (declared_dims[m] < dims[m]) fail("dims header smaller than data");
+      dims[m] = declared_dims[m];
+    }
+  }
+
+  CooTensor t(dims);
+  t.reserve(vals.size());
+  std::array<index_t, kMaxModes> coords{};
+  for (std::size_t n = 0; n < vals.size(); ++n) {
+    for (std::size_t m = 0; m < num_modes; ++m) coords[m] = cols[m][n] - 1;
+    t.push_back(std::span<const index_t>(coords.data(), num_modes), vals[n]);
+  }
+  return t;
+}
+
+CooTensor read_tns_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return read_tns(in);
+}
+
+void write_tns(const CooTensor& t, std::ostream& out) {
+  out << "# dims:";
+  for (index_t d : t.dims()) out << ' ' << d;
+  out << '\n';
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    for (std::size_t m = 0; m < t.num_modes(); ++m) {
+      out << (t.indices(m)[n] + 1) << ' ';
+    }
+    out << t.values()[n] << '\n';
+  }
+}
+
+void write_tns_file(const CooTensor& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path + " for writing");
+  write_tns(t, out);
+}
+
+void write_binary_file(const CooTensor& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t modes = t.num_modes();
+  const std::uint64_t nnz = t.nnz();
+  out.write(reinterpret_cast<const char*>(&modes), sizeof(modes));
+  out.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  for (index_t d : t.dims()) {
+    const std::uint64_t dim = d;
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  for (std::size_t m = 0; m < t.num_modes(); ++m) {
+    out.write(reinterpret_cast<const char*>(t.indices(m).data()),
+              static_cast<std::streamsize>(nnz * sizeof(index_t)));
+  }
+  out.write(reinterpret_cast<const char*>(t.values().data()),
+            static_cast<std::streamsize>(nnz * sizeof(value_t)));
+}
+
+CooTensor read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic in " + path);
+  }
+  std::uint64_t modes = 0, nnz = 0;
+  in.read(reinterpret_cast<char*>(&modes), sizeof(modes));
+  in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
+  if (!in || modes == 0 || modes > kMaxModes) fail("bad header in " + path);
+  std::vector<index_t> dims(modes);
+  for (auto& d : dims) {
+    std::uint64_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    d = static_cast<index_t>(dim);
+  }
+  CooTensor t(dims);
+  t.reserve(nnz);
+  // Read SoA arrays then bulk-append.
+  std::vector<std::vector<index_t>> cols(modes, std::vector<index_t>(nnz));
+  for (auto& c : cols) {
+    in.read(reinterpret_cast<char*>(c.data()),
+            static_cast<std::streamsize>(nnz * sizeof(index_t)));
+  }
+  std::vector<value_t> vals(nnz);
+  in.read(reinterpret_cast<char*>(vals.data()),
+          static_cast<std::streamsize>(nnz * sizeof(value_t)));
+  if (!in) fail("truncated file " + path);
+  std::array<index_t, kMaxModes> coords{};
+  for (nnz_t n = 0; n < nnz; ++n) {
+    for (std::size_t m = 0; m < modes; ++m) coords[m] = cols[m][n];
+    t.push_back(std::span<const index_t>(coords.data(), modes), vals[n]);
+  }
+  return t;
+}
+
+}  // namespace amped

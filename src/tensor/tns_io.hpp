@@ -1,0 +1,32 @@
+// FROSTT `.tns` text I/O plus a compact binary snapshot format.
+//
+// The text format is one nonzero per line: N 1-based indices followed by
+// the value, `#` comments allowed — exactly what frostt.io distributes, so
+// users can feed real datasets (Amazon/Patents/Reddit) to this library
+// unchanged. The binary format (`.amptns`) exists because billion-scale
+// text parsing is slow; it is a versioned little-endian dump of the SoA
+// arrays.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace amped {
+
+// Parses a FROSTT text tensor from a stream. Mode sizes are taken as the
+// max index seen per mode unless a `# dims: a b c` header is present.
+// Throws std::runtime_error on malformed input.
+CooTensor read_tns(std::istream& in);
+CooTensor read_tns_file(const std::string& path);
+
+// Writes FROSTT text (1-based indices, `# dims:` header first).
+void write_tns(const CooTensor& t, std::ostream& out);
+void write_tns_file(const CooTensor& t, const std::string& path);
+
+// Binary snapshot (magic "AMPTNS01").
+void write_binary_file(const CooTensor& t, const std::string& path);
+CooTensor read_binary_file(const std::string& path);
+
+}  // namespace amped

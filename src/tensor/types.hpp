@@ -1,0 +1,22 @@
+// Fundamental scalar/index types shared across the library.
+//
+// Index type: the paper's largest mode (Twitch, 15.5M indices) fits easily
+// in 32 bits, and 32-bit indices halve the memory traffic of the dominant
+// COO loads — the same choice production GPU tensor codes make. Mode counts
+// are tiny (3..5), so they are plain std::size_t.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace amped {
+
+using index_t = std::uint32_t;  // coordinate of a nonzero along one mode
+using value_t = float;          // tensor / factor matrix element
+using nnz_t = std::uint64_t;    // count of nonzero elements
+
+// Maximum number of modes the paper's workloads need (Twitch has 5); a
+// small fixed bound lets hot loops keep coordinates in registers.
+inline constexpr std::size_t kMaxModes = 8;
+
+}  // namespace amped

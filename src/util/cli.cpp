@@ -1,0 +1,56 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace amped {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return flags_.contains(key);
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace amped

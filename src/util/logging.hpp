@@ -1,0 +1,48 @@
+// Leveled logging to stderr. Quiet by default in tests/benches; examples
+// raise the level for progress reporting. Not thread-buffered: each call
+// emits one line with a single stream operation, which is enough for the
+// coarse-grained logging this project does.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace amped {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace amped
+
+#define AMPED_LOG(level)                                   \
+  if (static_cast<int>(level) > static_cast<int>(::amped::log_level())) \
+    ;                                                      \
+  else                                                     \
+    ::amped::detail::LogMessage(level)
+
+#define AMPED_LOG_INFO AMPED_LOG(::amped::LogLevel::kInfo)
+#define AMPED_LOG_WARN AMPED_LOG(::amped::LogLevel::kWarn)
+#define AMPED_LOG_ERROR AMPED_LOG(::amped::LogLevel::kError)
+#define AMPED_LOG_DEBUG AMPED_LOG(::amped::LogLevel::kDebug)

@@ -1,0 +1,68 @@
+#include "util/random.hpp"
+
+#include <cassert>
+
+namespace amped {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply a 64-bit random by bound, keep the high word;
+  // reject the small biased region.
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+namespace {
+// Helper used by rejection-inversion: H(x) = x^(1-s)/(1-s) for s != 1,
+// ln(x) for s == 1.
+double h_impl(double x, double s) {
+  if (s == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - s) / (1.0 - s);
+}
+double h_inv_impl(double x, double s) {
+  if (s == 1.0) return std::exp(x);
+  return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), s_(exponent) {
+  assert(n_ >= 1);
+  if (s_ <= 0.0) {
+    s_ = 0.0;
+    return;  // uniform fallback
+  }
+  h_x1_ = h_impl(1.5, s_) - 1.0;  // H(1.5) - h(1); h(1) = 1
+  h_n_ = h_impl(static_cast<double>(n_) + 0.5, s_);
+  sdiv_ = 0.0;
+}
+
+double ZipfSampler::h(double x) const { return h_impl(x, s_); }
+double ZipfSampler::h_inv(double x) const { return h_inv_impl(x, s_); }
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  if (s_ == 0.0 || n_ == 1) {
+    return rng.next_below(n_);
+  }
+  // Hörmann rejection-inversion over [0.5, n + 0.5].
+  while (true) {
+    const double u = h_x1_ + rng.next_double() * (h_n_ - h_x1_);
+    const double x = h_inv(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    // Acceptance test: accept k when u >= H(k + 0.5) - 1/k^s.
+    const double hk = h(static_cast<double>(k) + 0.5);
+    if (u >= hk - std::pow(static_cast<double>(k), -s_)) {
+      return k - 1;  // return 0-based index
+    }
+  }
+}
+
+}  // namespace amped

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All generators in this project are seeded explicitly so that every test,
+// benchmark, and example is reproducible bit-for-bit across runs. We avoid
+// std::mt19937 because its state is large and its distributions are not
+// guaranteed to produce identical streams across standard-library
+// implementations; instead we ship SplitMix64 (seeding / hashing) and
+// xoshiro256** (bulk generation), plus the distribution samplers the tensor
+// generators need (uniform, Zipf via rejection-inversion).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+
+namespace amped {
+
+// SplitMix64: tiny, passes BigCrush when used as a stream; the canonical
+// way to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast all-purpose generator (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Split off an independent generator (for per-mode / per-thread streams).
+  Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Samples from a Zipf(s) distribution over {0, 1, ..., n-1}: P(k) ~ 1/(k+1)^s.
+// Uses Hörmann's rejection-inversion, O(1) per sample independent of n,
+// which matters because tensor modes here can have tens of millions of
+// indices. s == 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t domain() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  double h(double x) const;         // integral of 1/x^s
+  double h_inv(double x) const;     // inverse of h
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double sdiv_;  // cached (1 - s) or log terms
+};
+
+}  // namespace amped

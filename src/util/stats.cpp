@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace amped {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0);
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double min_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double overhead_fraction(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  if (sum <= 0.0) return 0.0;
+  return (max_of(xs) - min_of(xs)) / sum;
+}
+
+double imbalance_factor(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m <= 0.0) return 1.0;
+  return max_of(xs) / m;
+}
+
+double gini(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double cum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cum += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (cum <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t buckets) {
+  assert(buckets > 0 && hi > lo);
+  std::vector<std::size_t> out(buckets, 0);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (double x : xs) {
+    if (x < lo || x > hi) continue;
+    auto b = static_cast<std::size_t>((x - lo) / width);
+    if (b >= buckets) b = buckets - 1;
+    ++out[b];
+  }
+  return out;
+}
+
+}  // namespace amped

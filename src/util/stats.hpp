@@ -1,0 +1,33 @@
+// Small statistics helpers used by the benchmark harnesses and the load
+// balancing analyses (geometric means for speedup aggregation, imbalance
+// and skew measures for workload distribution).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace amped {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  // requires all xs > 0
+double stddev(std::span<const double> xs);   // population std dev
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+// (max - min) / sum: the paper's Fig. 8 "computation time overhead among
+// GPUs" metric, expressed as a fraction of total time.
+double overhead_fraction(std::span<const double> xs);
+
+// max / mean: classic load-imbalance factor (1.0 == perfectly balanced).
+double imbalance_factor(std::span<const double> xs);
+
+// Gini coefficient in [0, 1): 0 == all equal. Used to characterise index
+// popularity skew in synthetic tensors.
+double gini(std::span<const double> xs);
+
+// Histogram of values into `buckets` equal-width bins over [lo, hi].
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t buckets);
+
+}  // namespace amped

@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The simulator's numerical execution is independent per simulated GPU, so
+// device loops can run concurrently when cores are available. On a 1-core
+// host the pool degrades gracefully to near-serial execution; all *timing*
+// results come from the simulator's cost model, never from wall clock, so
+// correctness of results does not depend on the core count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace amped {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; tasks may not throw (they run under noexcept workers).
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  // Run fn(i) for i in [0, n), distributing across the pool, and wait.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace amped

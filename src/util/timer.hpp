@@ -1,0 +1,26 @@
+// Wall-clock timer for preprocessing measurements and example progress.
+// Simulated (modelled) time is tracked separately in sim/timeline.hpp;
+// this type is only for real host time.
+#pragma once
+
+#include <chrono>
+
+namespace amped {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace amped

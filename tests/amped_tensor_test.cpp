@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/amped_tensor.hpp"
+#include "tensor/generator.hpp"
+
+namespace amped {
+namespace {
+
+CooTensor make_tensor() {
+  GeneratorOptions opt;
+  opt.dims = {200, 150, 100};
+  opt.nnz = 5000;
+  opt.zipf_exponents = {0.6, 0.6, 0.6};
+  opt.seed = 42;
+  return generate_random(opt);
+}
+
+TEST(AmpedTensorTest, BuildsOneCopyPerMode) {
+  auto input = make_tensor();
+  auto t = AmpedTensor::build(input, AmpedBuildOptions{});
+  EXPECT_EQ(t.num_modes(), 3u);
+  EXPECT_EQ(t.nnz(), input.nnz());
+  EXPECT_EQ(t.dims(), input.dims());
+  for (std::size_t d = 0; d < 3; ++d) {
+    const auto& copy = t.mode_copy(d);
+    EXPECT_EQ(copy.partition.mode, d);
+    auto idx = copy.tensor.indices(d);
+    EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()))
+        << "copy " << d << " not sorted by its output mode";
+    EXPECT_EQ(copy.partition.total_nnz(), input.nnz());
+  }
+}
+
+TEST(AmpedTensorTest, ShardCountFollowsOptions) {
+  auto input = make_tensor();
+  AmpedBuildOptions opt;
+  opt.num_gpus = 4;
+  opt.shards_per_gpu = 8;
+  auto t = AmpedTensor::build(input, opt);
+  EXPECT_EQ(t.mode_copy(0).partition.shards.size(), 32u);
+}
+
+TEST(AmpedTensorTest, ShardBytesMatchPayload) {
+  auto input = make_tensor();
+  auto t = AmpedTensor::build(input, AmpedBuildOptions{});
+  const auto& part = t.mode_copy(1).partition;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < part.shards.size(); ++s) {
+    EXPECT_EQ(t.shard_bytes(1, s),
+              part.shards[s].nnz() * input.bytes_per_nnz());
+    total += t.shard_bytes(1, s);
+  }
+  EXPECT_EQ(total, input.storage_bytes());
+}
+
+TEST(AmpedTensorTest, TotalBytesIsModesTimesCoo) {
+  auto input = make_tensor();
+  auto t = AmpedTensor::build(input, AmpedBuildOptions{});
+  EXPECT_EQ(t.total_bytes(), 3 * input.storage_bytes());
+}
+
+TEST(AmpedTensorTest, PreprocessStatsPopulated) {
+  auto input = make_tensor();
+  PreprocessStats stats;
+  auto t = AmpedTensor::build(input, AmpedBuildOptions{}, &stats);
+  EXPECT_GT(stats.host_seconds, 0.0);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  EXPECT_EQ(stats.bytes_built, t.total_bytes());
+}
+
+TEST(AmpedTensorTest, PreprocessModelScalesWithWork) {
+  const double small = model_amped_preprocess_seconds(1'000'000, 3);
+  const double bigger_nnz = model_amped_preprocess_seconds(10'000'000, 3);
+  const double more_modes = model_amped_preprocess_seconds(1'000'000, 5);
+  EXPECT_GT(bigger_nnz, 9.0 * small);   // superlinear (n log n)
+  EXPECT_NEAR(more_modes, small * 5.0 / 3.0, small * 0.01);
+  EXPECT_DOUBLE_EQ(model_amped_preprocess_seconds(0, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace amped

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "tensor/analysis.hpp"
+#include "tensor/generator.hpp"
+
+namespace amped {
+namespace {
+
+TEST(AnalysisTest, CountsOnHandBuiltTensor) {
+  CooTensor t({4, 3});
+  const std::array<std::array<index_t, 2>, 5> coords{{
+      {0, 0}, {0, 1}, {0, 2}, {1, 0}, {3, 0},
+  }};
+  for (const auto& c : coords) {
+    t.push_back(std::span<const index_t>(c.data(), 2), 1.0f);
+  }
+  auto a = analyze(t);
+  EXPECT_EQ(a.nnz, 5u);
+  EXPECT_DOUBLE_EQ(a.density, 5.0 / 12.0);
+  ASSERT_EQ(a.modes.size(), 2u);
+  EXPECT_EQ(a.modes[0].used_indices, 3u);       // indices 0, 1, 3
+  EXPECT_EQ(a.modes[0].max_multiplicity, 3u);   // index 0 three times
+  EXPECT_DOUBLE_EQ(a.modes[0].hottest_share, 0.6);
+  EXPECT_EQ(a.modes[1].used_indices, 3u);
+  EXPECT_EQ(a.modes[1].max_multiplicity, 3u);   // column 0 three times
+}
+
+TEST(AnalysisTest, SkewIncreasesHottestShareAndGini) {
+  auto run = [](double s) {
+    GeneratorOptions opt;
+    opt.dims = {256, 64};
+    opt.nnz = 20000;
+    opt.zipf_exponents = {s, 0.0};
+    opt.seed = 11;
+    return analyze(generate_random(opt)).modes[0];
+  };
+  const auto uniform = run(0.0);
+  const auto heavy = run(1.3);
+  EXPECT_GT(heavy.hottest_share, uniform.hottest_share * 3);
+  EXPECT_GT(heavy.gini, uniform.gini);
+}
+
+TEST(AnalysisTest, FiberCountBounds) {
+  GeneratorOptions opt;
+  opt.dims = {32, 32, 1024};
+  opt.nnz = 4000;
+  opt.seed = 12;
+  auto t = generate_random(opt);
+  const nnz_t fibers = count_fibers(t, 0, 1);
+  EXPECT_LE(fibers, t.nnz());
+  EXPECT_LE(fibers, 32u * 32u);
+  EXPECT_GE(fibers, 1u);
+}
+
+TEST(AnalysisTest, ToStringMentionsEveryMode) {
+  GeneratorOptions opt;
+  opt.dims = {8, 8, 8};
+  opt.nnz = 50;
+  opt.seed = 13;
+  const auto s = analyze(generate_random(opt)).to_string();
+  EXPECT_NE(s.find("mode 0"), std::string::npos);
+  EXPECT_NE(s.find("mode 2"), std::string::npos);
+  EXPECT_NE(s.find("density"), std::string::npos);
+}
+
+TEST(AnalysisTest, EmptyTensor) {
+  CooTensor t({4, 4});
+  auto a = analyze(t);
+  EXPECT_EQ(a.nnz, 0u);
+  EXPECT_EQ(a.modes[0].used_indices, 0u);
+  EXPECT_DOUBLE_EQ(a.modes[0].hottest_share, 0.0);
+}
+
+}  // namespace
+}  // namespace amped

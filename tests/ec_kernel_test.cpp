@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/ec_kernel.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_mttkrp.hpp"
+
+namespace amped {
+namespace {
+
+CooTensor tiny_tensor(std::vector<index_t> dims,
+                      std::vector<std::vector<index_t>> coords,
+                      std::vector<value_t> vals) {
+  CooTensor t(std::move(dims));
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    t.push_back(std::span<const index_t>(coords[i].data(),
+                                         coords[i].size()),
+                vals[i]);
+  }
+  return t;
+}
+
+TEST(EcKernelTest, AccumulatesIntoOutputRows) {
+  auto t = tiny_tensor({3, 2, 2},
+                       {{0, 0, 0}, {0, 1, 1}, {2, 0, 1}},
+                       {1.0f, 2.0f, 3.0f});
+  Rng rng(1);
+  FactorSet f(t.dims(), 4, rng);
+  DenseMatrix out(3, 4);
+  auto stats = run_ec_block(t, 0, t.nnz(), 0, f, out);
+
+  const auto ref = reference_mttkrp(t, f, 0);
+  EXPECT_LT(relative_max_diff(ref, out), 1e-5);
+  EXPECT_EQ(stats.nnz, 3u);
+  EXPECT_EQ(stats.modes, 3u);
+  EXPECT_EQ(stats.rank, 4u);
+}
+
+TEST(EcKernelTest, PartialRangeProcessesOnlyThatRange) {
+  auto t = tiny_tensor({2, 2}, {{0, 0}, {1, 1}, {1, 0}},
+                       {1.0f, 2.0f, 4.0f});
+  Rng rng(2);
+  FactorSet f(t.dims(), 2, rng);
+  DenseMatrix out(2, 2);
+  auto stats = run_ec_block(t, 1, 3, 0, f, out);
+  EXPECT_EQ(stats.nnz, 2u);
+  // Row 0 untouched: elements 1 and 2 have output index 1.
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+  EXPECT_NE(out(1, 0), 0.0f);
+}
+
+TEST(EcKernelTest, RunStatsOnSortedData) {
+  // Output indices: 0 0 0 1 1 2 -> 3 runs, max run 3, max mult 3.
+  auto t = tiny_tensor(
+      {3, 2},
+      {{0, 0}, {0, 1}, {0, 0}, {1, 1}, {1, 0}, {2, 1}},
+      {1, 1, 1, 1, 1, 1});
+  Rng rng(3);
+  FactorSet f(t.dims(), 2, rng);
+  DenseMatrix out(3, 2);
+  auto stats = run_ec_block(t, 0, t.nnz(), 0, f, out);
+  EXPECT_EQ(stats.output_runs, 3u);
+  EXPECT_EQ(stats.max_run, 3u);
+  EXPECT_EQ(stats.max_multiplicity, 3u);
+}
+
+TEST(EcKernelTest, RunStatsOnScatteredHotRow) {
+  // Output indices: 0 1 0 1 0 -> 5 runs, max run 1, max multiplicity 3.
+  auto t = tiny_tensor(
+      {2, 2},
+      {{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 0}},
+      {1, 1, 1, 1, 1});
+  Rng rng(4);
+  FactorSet f(t.dims(), 2, rng);
+  DenseMatrix out(2, 2);
+  auto stats = run_ec_block(t, 0, t.nnz(), 0, f, out);
+  EXPECT_EQ(stats.output_runs, 5u);
+  EXPECT_EQ(stats.max_run, 1u);
+  EXPECT_EQ(stats.max_multiplicity, 3u);
+}
+
+TEST(EcKernelTest, EmptyRange) {
+  auto t = tiny_tensor({2, 2}, {{0, 0}}, {1.0f});
+  Rng rng(5);
+  FactorSet f(t.dims(), 2, rng);
+  DenseMatrix out(2, 2);
+  auto stats = run_ec_block(t, 1, 1, 0, f, out);
+  EXPECT_EQ(stats.nnz, 0u);
+  EXPECT_DOUBLE_EQ(out.frob_sq(), 0.0);
+}
+
+TEST(RunStatsAccumulatorTest, MatchesRunEcBlockStats) {
+  GeneratorOptions opt;
+  opt.dims = {64, 64, 64};
+  opt.nnz = 2000;
+  opt.zipf_exponents = {1.0, 0.0, 0.0};
+  opt.seed = 6;
+  auto t = generate_random(opt);
+  t.sort_by_mode(0);
+  Rng rng(7);
+  FactorSet f(t.dims(), 4, rng);
+  DenseMatrix out(64, 4);
+  auto direct = run_ec_block(t, 0, t.nnz(), 0, f, out);
+
+  RunStatsAccumulator acc;
+  for (nnz_t n = 0; n < t.nnz(); ++n) acc.feed(t.indices(0)[n]);
+  auto via_acc = acc.finish(3, 4, 32);
+
+  EXPECT_EQ(via_acc.nnz, direct.nnz);
+  EXPECT_EQ(via_acc.output_runs, direct.output_runs);
+  EXPECT_EQ(via_acc.max_run, direct.max_run);
+  EXPECT_EQ(via_acc.max_multiplicity, direct.max_multiplicity);
+}
+
+TEST(RunStatsAccumulatorTest, FinishResetsForReuse) {
+  RunStatsAccumulator acc;
+  acc.feed(1);
+  acc.feed(1);
+  auto first = acc.finish(3, 8, 32);
+  EXPECT_EQ(first.nnz, 2u);
+  EXPECT_EQ(first.max_run, 2u);
+
+  acc.feed(5);
+  auto second = acc.finish(3, 8, 32);
+  EXPECT_EQ(second.nnz, 1u);
+  EXPECT_EQ(second.max_run, 1u);
+  EXPECT_EQ(second.max_multiplicity, 1u);
+}
+
+// Property sweep: for any skew, the accumulator invariants hold:
+// runs <= nnz, max_run <= max_multiplicity <= nnz, and the sum of all
+// per-block nnz equals the total.
+class RunStatsProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RunStatsProperty, Invariants) {
+  GeneratorOptions opt;
+  opt.dims = {128, 32};
+  opt.nnz = 5000;
+  opt.zipf_exponents = {GetParam(), 0.0};
+  opt.seed = 8;
+  auto t = generate_random(opt);
+  t.sort_by_mode(0);
+  Rng rng(9);
+  FactorSet f(t.dims(), 2, rng);
+  DenseMatrix out(128, 2);
+
+  nnz_t covered = 0;
+  for (nnz_t lo = 0; lo < t.nnz(); lo += 997) {
+    const nnz_t hi = std::min<nnz_t>(t.nnz(), lo + 997);
+    auto s = run_ec_block(t, lo, hi, 0, f, out);
+    EXPECT_LE(s.output_runs, s.nnz);
+    EXPECT_GE(s.max_multiplicity, s.max_run);
+    EXPECT_LE(s.max_multiplicity, s.nnz);
+    // Sorted data: the hot row is contiguous, so run == multiplicity.
+    EXPECT_EQ(s.max_run, s.max_multiplicity);
+    covered += s.nnz;
+  }
+  EXPECT_EQ(covered, t.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewSweep, RunStatsProperty,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5));
+
+}  // namespace
+}  // namespace amped

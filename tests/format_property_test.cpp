@@ -1,0 +1,134 @@
+// Property sweep across execution formats: for any (mode count, skew)
+// workload, every format must (a) preserve the exact multiset of
+// nonzeros, (b) compute MTTKRP equal to the reference on every mode it
+// supports, and (c) report storage within sane bounds. This is the
+// cross-format contract the baseline runners rely on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <tuple>
+
+#include "formats/blco.hpp"
+#include "formats/csf.hpp"
+#include "formats/hicoo.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/reference_mttkrp.hpp"
+
+namespace amped::formats {
+namespace {
+
+using Params = std::tuple<std::size_t, double>;  // (modes, skew)
+
+class FormatProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  CooTensor make_tensor() const {
+    const auto [modes, skew] = GetParam();
+    GeneratorOptions opt;
+    opt.dims.assign(modes, 0);
+    for (std::size_t m = 0; m < modes; ++m) {
+      opt.dims[m] = static_cast<index_t>(48 + 37 * m);
+    }
+    opt.zipf_exponents.assign(modes, skew);
+    opt.nnz = 3000;
+    opt.seed = 1000 + modes * 10 + static_cast<std::uint64_t>(skew * 10);
+    return generate_random(opt);
+  }
+
+  // Order-independent fingerprint of (coords, value) pairs.
+  static double fingerprint(std::span<const index_t> coords, value_t v,
+                            std::size_t modes) {
+    double h = static_cast<double>(v);
+    for (std::size_t m = 0; m < modes; ++m) {
+      h += static_cast<double>(coords[m]) * (m + 1) * 1e-3;
+    }
+    return h;
+  }
+};
+
+TEST_P(FormatProperty, BlcoPreservesElements) {
+  const auto t = make_tensor();
+  const std::size_t modes = t.num_modes();
+  auto blco = BlcoTensor::build(t, 700);
+  ASSERT_EQ(blco.nnz(), t.nnz());
+
+  double sum_in = 0.0, sum_out = 0.0;
+  std::array<index_t, kMaxModes> c{};
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    t.coords_of(n, c);
+    sum_in += fingerprint(std::span<const index_t>(c.data(), modes),
+                          t.values()[n], modes);
+  }
+  for (const auto& block : blco.blocks()) {
+    blco.visit_block(block, [&](std::span<const index_t> coords, value_t v) {
+      sum_out += fingerprint(coords, v, modes);
+    });
+  }
+  EXPECT_NEAR(sum_in, sum_out, 1e-3 * static_cast<double>(t.nnz()));
+}
+
+TEST_P(FormatProperty, HicooMttkrpMatchesReferenceAllModes) {
+  const auto t = make_tensor();
+  if (t.num_modes() > 4) GTEST_SKIP() << "HiCOO kernels support <= 4 modes";
+  auto h = HicooTensor::build(t, 4);
+  Rng rng(17);
+  FactorSet f(t.dims(), 6, rng);
+  for (std::size_t d = 0; d < t.num_modes(); ++d) {
+    DenseMatrix out(t.dim(d), 6);
+    h.mttkrp(f, d, out);
+    EXPECT_LT(relative_max_diff(reference_mttkrp(t, f, d), out), 1e-3)
+        << "mode " << d;
+  }
+}
+
+TEST_P(FormatProperty, CsfMttkrpMatchesReferenceEveryRoot) {
+  const auto t = make_tensor();
+  Rng rng(18);
+  FactorSet f(t.dims(), 6, rng);
+  for (std::size_t root = 0; root < t.num_modes(); ++root) {
+    std::vector<std::size_t> order{root};
+    for (std::size_t m = 0; m < t.num_modes(); ++m) {
+      if (m != root) order.push_back(m);
+    }
+    auto csf = CsfTensor::build(t, order);
+    EXPECT_EQ(csf.nnz(), t.nnz());
+    DenseMatrix out(t.dim(root), 6);
+    csf.mttkrp_root(f, out);
+    EXPECT_LT(relative_max_diff(reference_mttkrp(t, f, root), out), 1e-3)
+        << "root " << root;
+  }
+}
+
+TEST_P(FormatProperty, StorageBoundsAreSane) {
+  const auto t = make_tensor();
+  auto blco = BlcoTensor::build(t);
+  auto h = HicooTensor::build(t, 4);
+  // BLCO: 12 bytes per element + bounded headers.
+  EXPECT_GE(blco.storage_bytes(), t.nnz() * 12);
+  EXPECT_LE(blco.storage_bytes(),
+            t.nnz() * 12 + 64 * blco.blocks().size());
+  // HiCOO: never more than twice raw COO on these dense-ish workloads.
+  EXPECT_LT(h.storage_bytes(), 2 * t.storage_bytes());
+  // CSF: level sizes are monotone non-decreasing down the tree.
+  auto csf = CsfTensor::build(t, [&] {
+    std::vector<std::size_t> order(t.num_modes());
+    for (std::size_t m = 0; m < order.size(); ++m) order[m] = m;
+    return order;
+  }());
+  const auto sizes = csf.level_sizes();
+  for (std::size_t l = 1; l < sizes.size(); ++l) {
+    EXPECT_GE(sizes[l], sizes[l - 1]) << "level " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSkew, FormatProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 4, 5),
+                       ::testing::Values(0.0, 0.9, 1.4)),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+}  // namespace
+}  // namespace amped::formats

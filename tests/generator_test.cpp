@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/generator.hpp"
+#include "tensor/profiles.hpp"
+#include "util/stats.hpp"
+
+namespace amped {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  GeneratorOptions opt;
+  opt.dims = {100, 50, 25};
+  opt.nnz = 1000;
+  auto t = generate_random(opt);
+  EXPECT_EQ(t.nnz(), 1000u);
+  EXPECT_EQ(t.dims(), opt.dims);
+  EXPECT_TRUE(t.indices_in_bounds());
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorOptions opt;
+  opt.dims = {64, 64, 64};
+  opt.nnz = 500;
+  opt.seed = 77;
+  auto a = generate_random(opt);
+  auto b = generate_random(opt);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (nnz_t n = 0; n < a.nnz(); ++n) {
+    EXPECT_EQ(a.indices(0)[n], b.indices(0)[n]);
+    EXPECT_FLOAT_EQ(a.values()[n], b.values()[n]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions opt;
+  opt.dims = {64, 64};
+  opt.nnz = 200;
+  opt.seed = 1;
+  auto a = generate_random(opt);
+  opt.seed = 2;
+  auto b = generate_random(opt);
+  bool any_diff = false;
+  for (nnz_t n = 0; n < a.nnz() && !any_diff; ++n) {
+    any_diff = a.indices(0)[n] != b.indices(0)[n];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, ValuesInConfiguredRange) {
+  GeneratorOptions opt;
+  opt.dims = {16, 16};
+  opt.nnz = 300;
+  opt.value_lo = 2.0f;
+  opt.value_hi = 3.0f;
+  auto t = generate_random(opt);
+  for (value_t v : t.values()) {
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+// Skew property: heavier Zipf exponents concentrate nonzeros on fewer
+// indices (higher Gini over per-index counts).
+TEST(GeneratorTest, ZipfExponentControlsSkew) {
+  auto gini_of = [](double s) {
+    GeneratorOptions opt;
+    opt.dims = {512, 512};
+    opt.nnz = 20000;
+    opt.zipf_exponents = {s, 0.0};
+    opt.seed = 10;
+    auto t = generate_random(opt);
+    std::vector<double> counts(512, 0.0);
+    for (index_t i : t.indices(0)) counts[i] += 1.0;
+    return gini(counts);
+  };
+  const double uniform = gini_of(0.0);
+  const double mild = gini_of(0.7);
+  const double heavy = gini_of(1.3);
+  EXPECT_LT(uniform, mild);
+  EXPECT_LT(mild, heavy);
+}
+
+TEST(GeneratorTest, HotIndicesAreScattered) {
+  // The scatter permutation must not leave the hottest index at 0.
+  GeneratorOptions opt;
+  opt.dims = {1024, 8};
+  opt.nnz = 50000;
+  opt.zipf_exponents = {1.2, 0.0};
+  opt.seed = 4;
+  auto t = generate_random(opt);
+  std::vector<nnz_t> counts(1024, 0);
+  for (index_t i : t.indices(0)) ++counts[i];
+  const auto hottest =
+      std::max_element(counts.begin(), counts.end()) - counts.begin();
+  EXPECT_NE(hottest, 0);
+}
+
+TEST(GeneratorTest, CoalesceOptionRemovesDuplicates) {
+  GeneratorOptions opt;
+  opt.dims = {4, 4};  // tiny space forces duplicates
+  opt.nnz = 500;
+  opt.coalesce_duplicates = true;
+  auto t = generate_random(opt);
+  EXPECT_LE(t.nnz(), 16u);
+}
+
+TEST(GeneratorTest, RejectsBadOptions) {
+  GeneratorOptions opt;
+  EXPECT_THROW(generate_random(opt), std::invalid_argument);  // no dims
+  opt.dims = {4, 0};
+  EXPECT_THROW(generate_random(opt), std::invalid_argument);  // zero dim
+  opt.dims = {4, 4};
+  opt.zipf_exponents = {1.0};
+  EXPECT_THROW(generate_random(opt), std::invalid_argument);  // count
+}
+
+TEST(ProfilesTest, Table3Characteristics) {
+  const auto profiles = table3_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "amazon");
+  EXPECT_EQ(profiles[0].full_nnz, 1'700'000'000ull);
+  EXPECT_EQ(profiles[1].full_dims[0], 46ull);        // Patents years
+  EXPECT_EQ(profiles[2].full_nnz, 4'700'000'000ull);  // Reddit
+  EXPECT_EQ(profiles[3].num_modes(), 5u);             // Twitch
+}
+
+TEST(ProfilesTest, LookupByNameCaseInsensitive) {
+  EXPECT_EQ(profile_by_name("Amazon").name, "amazon");
+  EXPECT_EQ(profile_by_name("TWITCH").name, "twitch");
+  EXPECT_THROW(profile_by_name("nope"), std::invalid_argument);
+}
+
+TEST(ProfilesTest, FullCooBytesMatchesTable) {
+  // Amazon: 1.7B x (3*4 + 4) bytes = 27.2 GB.
+  EXPECT_EQ(amazon_profile().full_coo_bytes(), 1'700'000'000ull * 16);
+  // Twitch: 5 modes -> 24 bytes per element.
+  EXPECT_EQ(twitch_profile().full_coo_bytes(), 500'000'000ull * 24);
+}
+
+TEST(GeneratorTest, ScaledDatasetShrinksNnzAndLargeDims) {
+  auto ds = generate_scaled(reddit_profile(), 100000.0);
+  EXPECT_EQ(ds.tensor.nnz(), 47000u);
+  // Large modes shrink proportionally (8.2M / 1e5 = 82, above the floor).
+  EXPECT_EQ(ds.tensor.dim(0), 82u);
+  // A mode that would shrink below the floor is clamped: 177K / 1e5 -> 64.
+  EXPECT_EQ(ds.tensor.dim(1), 64u);
+  EXPECT_EQ(ds.profile.full_nnz, 4'700'000'000ull);
+  EXPECT_DOUBLE_EQ(ds.scale, 100000.0);
+}
+
+TEST(GeneratorTest, ScaledPatentsKeepsTinyMode) {
+  auto ds = generate_scaled(patents_profile(), 10000.0);
+  EXPECT_EQ(ds.tensor.dim(0), 46u);  // 46 years never shrink
+  EXPECT_EQ(ds.tensor.nnz(), 360000u);
+}
+
+TEST(GeneratorTest, ScaleOneKeepsFullDims) {
+  // Not materialising a billion nonzeros here: just check the dim logic
+  // via a tiny synthetic profile.
+  DatasetProfile p;
+  p.name = "tiny";
+  p.full_dims = {100, 5000};
+  p.full_nnz = 2000;
+  p.zipf_exponents = {0.0, 0.0};
+  p.seed = 1;
+  auto ds = generate_scaled(p, 1.0);
+  EXPECT_EQ(ds.tensor.dim(0), 100u);
+  EXPECT_EQ(ds.tensor.dim(1), 5000u);
+  EXPECT_EQ(ds.tensor.nnz(), 2000u);
+}
+
+TEST(GeneratorTest, ScaleBelowOneRejected) {
+  EXPECT_THROW(generate_scaled(amazon_profile(), 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amped

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/partition.hpp"
+#include "tensor/generator.hpp"
+#include "util/stats.hpp"
+
+namespace amped {
+namespace {
+
+CooTensor sorted_tensor(index_t dim0, nnz_t nnz, double zipf,
+                        std::uint64_t seed) {
+  GeneratorOptions opt;
+  opt.dims = {dim0, 64, 64};
+  opt.nnz = nnz;
+  opt.zipf_exponents = {zipf, 0.0, 0.0};
+  opt.seed = seed;
+  auto t = generate_random(opt);
+  t.sort_by_mode(0);
+  return t;
+}
+
+TEST(PartitionTest, ShardsCoverAllNonzerosExactlyOnce) {
+  auto t = sorted_tensor(1000, 5000, 0.0, 1);
+  auto part = build_mode_partition(t, 0, 16);
+  EXPECT_EQ(part.shards.size(), 16u);
+  EXPECT_EQ(part.total_nnz(), t.nnz());
+  nnz_t cursor = 0;
+  for (const auto& s : part.shards) {
+    EXPECT_EQ(s.nnz_begin, cursor);
+    cursor = s.nnz_end;
+  }
+  EXPECT_EQ(cursor, t.nnz());
+}
+
+TEST(PartitionTest, ShardIndexRangesAreDisjointAndCoverDim) {
+  auto t = sorted_tensor(777, 3000, 0.5, 2);
+  auto part = build_mode_partition(t, 0, 10);
+  index_t cursor = 0;
+  for (const auto& s : part.shards) {
+    EXPECT_EQ(s.index_begin, cursor);
+    EXPECT_GT(s.index_end, s.index_begin);
+    cursor = s.index_end;
+  }
+  EXPECT_EQ(cursor, 777u);
+}
+
+TEST(PartitionTest, ElementsLandInTheirIndexRange) {
+  auto t = sorted_tensor(500, 4000, 0.9, 3);
+  auto part = build_mode_partition(t, 0, 8);
+  auto idx = t.indices(0);
+  for (const auto& s : part.shards) {
+    for (nnz_t n = s.nnz_begin; n < s.nnz_end; ++n) {
+      EXPECT_GE(idx[n], s.index_begin);
+      EXPECT_LT(idx[n], s.index_end);
+    }
+  }
+}
+
+TEST(PartitionTest, ShardCountClampedToDim) {
+  auto t = sorted_tensor(5, 100, 0.0, 4);
+  auto part = build_mode_partition(t, 0, 64);
+  EXPECT_EQ(part.shards.size(), 5u);  // one index per shard at most
+}
+
+TEST(PartitionTest, AssignmentCoversEveryShardOnce) {
+  auto t = sorted_tensor(1000, 8000, 0.8, 5);
+  auto part = build_mode_partition(t, 0, 32);
+  for (auto policy :
+       {SchedulingPolicy::kStaticGreedy, SchedulingPolicy::kDynamicQueue,
+        SchedulingPolicy::kContiguous}) {
+    auto a = assign_shards(part, 4, policy);
+    ASSERT_EQ(a.per_gpu.size(), 4u) << to_string(policy);
+    std::set<std::size_t> seen;
+    for (const auto& list : a.per_gpu) {
+      for (std::size_t id : list) {
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate shard " << id;
+      }
+    }
+    EXPECT_EQ(seen.size(), part.shards.size()) << to_string(policy);
+  }
+}
+
+TEST(PartitionTest, GreedyBalancesSkewedShards) {
+  // Zipf-heavy mode: shard nnz varies a lot; LPT must still balance GPUs
+  // to within a few percent while contiguous assignment does far worse.
+  auto t = sorted_tensor(4096, 100000, 1.1, 6);
+  auto part = build_mode_partition(t, 0, 96);
+
+  auto greedy = assign_shards(part, 4, SchedulingPolicy::kStaticGreedy);
+  auto naive = assign_shards(part, 4, SchedulingPolicy::kContiguous);
+
+  auto to_double = [](const std::vector<nnz_t>& v) {
+    std::vector<double> d(v.begin(), v.end());
+    return d;
+  };
+  const double greedy_imb =
+      imbalance_factor(to_double(greedy.nnz_per_gpu(part)));
+  const double naive_imb =
+      imbalance_factor(to_double(naive.nnz_per_gpu(part)));
+  EXPECT_LT(greedy_imb, 1.10);
+  EXPECT_GT(naive_imb, greedy_imb);
+}
+
+TEST(PartitionTest, GreedyExecutionOrderIsIndexSorted) {
+  auto t = sorted_tensor(512, 5000, 0.7, 7);
+  auto part = build_mode_partition(t, 0, 24);
+  auto a = assign_shards(part, 3, SchedulingPolicy::kStaticGreedy);
+  for (const auto& list : a.per_gpu) {
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+  }
+}
+
+TEST(PartitionTest, SingleGpuGetsEverything) {
+  auto t = sorted_tensor(100, 1000, 0.0, 8);
+  auto part = build_mode_partition(t, 0, 16);
+  auto a = assign_shards(part, 1, SchedulingPolicy::kStaticGreedy);
+  EXPECT_EQ(a.per_gpu[0].size(), part.shards.size());
+  EXPECT_EQ(a.nnz_per_gpu(part)[0], t.nnz());
+}
+
+TEST(PartitionTest, SplitIspsEqualSized) {
+  Shard s{.index_begin = 0, .index_end = 10, .nnz_begin = 100,
+          .nnz_end = 1125};
+  auto isps = split_isps(s, 256);
+  ASSERT_EQ(isps.size(), 5u);  // 1025 elements -> 4 x 256 + 1
+  for (std::size_t i = 0; i + 1 < isps.size(); ++i) {
+    EXPECT_EQ(isps[i].second - isps[i].first, 256u);
+  }
+  EXPECT_EQ(isps.back().second - isps.back().first, 1u);
+  EXPECT_EQ(isps.front().first, 0u);
+  EXPECT_EQ(isps.back().second, s.nnz());
+}
+
+TEST(PartitionTest, SplitIspsEmptyShard) {
+  Shard s{.index_begin = 0, .index_end = 1, .nnz_begin = 5, .nnz_end = 5};
+  EXPECT_TRUE(split_isps(s, 64).empty());
+}
+
+TEST(PartitionTest, PolicyNames) {
+  EXPECT_EQ(to_string(SchedulingPolicy::kStaticGreedy), "static-greedy");
+  EXPECT_EQ(to_string(SchedulingPolicy::kDynamicQueue), "dynamic-queue");
+  EXPECT_EQ(to_string(SchedulingPolicy::kContiguous), "contiguous");
+}
+
+}  // namespace
+}  // namespace amped

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "tensor/generator.hpp"
+#include "tensor/reference_mttkrp.hpp"
+
+namespace amped {
+namespace {
+
+// Hand-checkable 2x2x2 tensor with two nonzeros.
+TEST(ReferenceMttkrpTest, MatchesHandComputation) {
+  CooTensor t({2, 2, 2});
+  const std::array<index_t, 3> e0{0, 1, 1};
+  const std::array<index_t, 3> e1{1, 0, 1};
+  t.push_back(std::span<const index_t>(e0.data(), 3), 2.0f);
+  t.push_back(std::span<const index_t>(e1.data(), 3), 3.0f);
+
+  Rng rng(1);
+  FactorSet f(t.dims(), 2, rng);
+  // Overwrite with known values.
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t r = 0; r < 2; ++r) {
+        f.factor(m)(i, r) =
+            static_cast<value_t>(1 + m + 2 * i + 3 * r);  // arbitrary
+      }
+    }
+  }
+
+  const auto out = reference_mttkrp(t, f, 0);
+  // Row 0: element (0,1,1) contributes 2 * B(1,r) * C(1,r).
+  for (std::size_t r = 0; r < 2; ++r) {
+    const double expect = 2.0 * f.factor(1)(1, r) * f.factor(2)(1, r);
+    EXPECT_NEAR(out(0, r), expect, 1e-4);
+  }
+  // Row 1: element (1,0,1) contributes 3 * B(0,r) * C(1,r).
+  for (std::size_t r = 0; r < 2; ++r) {
+    const double expect = 3.0 * f.factor(1)(0, r) * f.factor(2)(1, r);
+    EXPECT_NEAR(out(1, r), expect, 1e-4);
+  }
+}
+
+TEST(ReferenceMttkrpTest, ZeroTensorGivesZeroOutput) {
+  CooTensor t({3, 3, 3});
+  Rng rng(2);
+  FactorSet f(t.dims(), 4, rng);
+  const auto out = reference_mttkrp(t, f, 1);
+  EXPECT_DOUBLE_EQ(out.frob_sq(), 0.0);
+}
+
+// Linearity in the tensor values: scaling every value scales the output.
+TEST(ReferenceMttkrpTest, LinearInValues) {
+  GeneratorOptions opt;
+  opt.dims = {10, 12, 8};
+  opt.nnz = 150;
+  opt.seed = 5;
+  auto t = generate_random(opt);
+  Rng rng(6);
+  FactorSet f(t.dims(), 4, rng);
+
+  const auto base = reference_mttkrp(t, f, 2);
+  for (auto& v : t.mutable_values()) v *= 2.0f;
+  const auto doubled = reference_mttkrp(t, f, 2);
+  EXPECT_LT(relative_max_diff(doubled, [&] {
+              DenseMatrix scaled = base;
+              for (auto& v : scaled.data()) v *= 2.0f;
+              return scaled;
+            }()),
+            1e-5);
+}
+
+TEST(ReferenceMttkrpTest, AllModesShapes) {
+  GeneratorOptions opt;
+  opt.dims = {7, 9, 11, 5};
+  opt.nnz = 100;
+  opt.seed = 8;
+  auto t = generate_random(opt);
+  Rng rng(9);
+  FactorSet f(t.dims(), 3, rng);
+  auto outs = reference_mttkrp_all_modes(t, f);
+  ASSERT_EQ(outs.size(), 4u);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(outs[d].rows(), t.dim(d));
+    EXPECT_EQ(outs[d].cols(), 3u);
+  }
+}
+
+// Permutation invariance: element order must not change the result
+// (beyond floating-point noise, which the double accumulator removes).
+TEST(ReferenceMttkrpTest, OrderInvariant) {
+  GeneratorOptions opt;
+  opt.dims = {16, 16, 16};
+  opt.nnz = 400;
+  opt.seed = 12;
+  auto t = generate_random(opt);
+  Rng rng(13);
+  FactorSet f(t.dims(), 8, rng);
+
+  const auto before = reference_mttkrp(t, f, 0);
+  t.sort_by_mode(2);
+  const auto after = reference_mttkrp(t, f, 0);
+  EXPECT_LT(relative_max_diff(before, after), 1e-6);
+}
+
+TEST(ReferenceMttkrpTest, RelativeMaxDiffScales) {
+  DenseMatrix a(2, 2, 10.0f), b(2, 2, 10.0f);
+  b(0, 0) = 11.0f;
+  EXPECT_NEAR(relative_max_diff(a, b), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace amped

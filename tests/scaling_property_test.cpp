@@ -1,0 +1,103 @@
+// Scale-invariance of the simulation methodology.
+//
+// The benchmarks run Table 3 profiles at 1/2000 of their real size and
+// multiply simulated time back by the scale factor. That extrapolation is
+// sound only if the *ratios* the paper reports are invariant to the scale
+// chosen: the platform divides fixed costs by the scale, the generator
+// shrinks nonzeros and mode sizes by the same factor, and every modelled
+// cost is otherwise linear in bytes/flops. These tests pin that property
+// so a future cost-model change that silently breaks extrapolation fails
+// loudly.
+#include <gtest/gtest.h>
+
+#include "baselines/runner.hpp"
+#include "tensor/generator.hpp"
+
+namespace amped {
+namespace {
+
+struct Ratios {
+  double amped_vs_blco = 0.0;
+  double gpus4_vs_gpus1 = 0.0;
+  double comm_fraction = 0.0;
+};
+
+Ratios measure(double scale) {
+  // A synthetic billion-scale profile whose dims stay above the mode-size
+  // floor at both test scales, so shrinkage is exactly proportional.
+  DatasetProfile p;
+  p.name = "synthetic";
+  p.full_dims = {40'000'000, 30'000'000, 20'000'000};
+  p.full_nnz = 1'000'000'000;
+  p.zipf_exponents = {0.6, 0.6, 0.6};
+  p.seed = 99;
+  auto ds = generate_scaled(p, scale);
+
+  Rng rng(100);
+  FactorSet factors(ds.tensor.dims(), 16, rng);
+  baselines::BaselineOptions opt;
+  opt.workload = baselines::WorkloadInfo::from_dataset(ds);
+  opt.collect_outputs = false;
+
+  Ratios r;
+  auto p4 = sim::make_default_platform(4, scale);
+  const auto amped4 = baselines::run_amped(p4, ds.tensor, factors, opt);
+  auto p1 = sim::make_default_platform(1, scale);
+  const auto amped1 = baselines::run_amped(p1, ds.tensor, factors, opt);
+  auto pb = sim::make_default_platform(1, scale);
+  const auto blco = baselines::run_blco_gpu(pb, ds.tensor, factors, opt);
+
+  r.amped_vs_blco = blco.total_seconds / amped4.total_seconds;
+  r.gpus4_vs_gpus1 = amped1.total_seconds / amped4.total_seconds;
+  const auto& t = amped4.timeline;
+  r.comm_fraction =
+      t.communication() /
+      (t.communication() + t.total(sim::Phase::kCompute));
+  return r;
+}
+
+TEST(ScalingPropertyTest, RatiosInvariantAcrossScales) {
+  // Scales are chosen inside the methodology's valid region: a shard must
+  // still fill one wave of threadblocks per SM (isp_size above the P = 32
+  // floor), which for a 1B-nnz tensor on 96 shards x 4 GPUs bounds the
+  // scale at ~2000 — exactly the benchmark default. Beyond that, SM
+  // under-occupancy (a scaled-down artifact, not a modelled effect)
+  // creeps into AMPED's compute term.
+  const auto coarse = measure(2000.0);
+  const auto fine = measure(500.0);
+  // 4x different sampling of the same full-scale workload: every reported
+  // ratio agrees within 15% (sampling noise of the synthetic draws).
+  EXPECT_NEAR(coarse.amped_vs_blco / fine.amped_vs_blco, 1.0, 0.15);
+  EXPECT_NEAR(coarse.gpus4_vs_gpus1 / fine.gpus4_vs_gpus1, 1.0, 0.15);
+  EXPECT_NEAR(coarse.comm_fraction / fine.comm_fraction, 1.0, 0.15);
+}
+
+TEST(ScalingPropertyTest, ExtrapolatedTimeIsStable) {
+  // sim_time x scale must be (approximately) the same number at both
+  // scales — that is the definition of exact extrapolation.
+  DatasetProfile p;
+  p.name = "synthetic";
+  p.full_dims = {40'000'000, 30'000'000, 20'000'000};
+  p.full_nnz = 1'000'000'000;
+  p.zipf_exponents = {0.4, 0.4, 0.4};
+  p.seed = 101;
+
+  auto run_at = [&](double scale) {
+    auto ds = generate_scaled(p, scale);
+    Rng rng(102);
+    FactorSet factors(ds.tensor.dims(), 16, rng);
+    baselines::BaselineOptions opt;
+    opt.workload = baselines::WorkloadInfo::from_dataset(ds);
+    opt.collect_outputs = false;
+    auto platform = sim::make_default_platform(4, scale);
+    return baselines::run_amped(platform, ds.tensor, factors, opt)
+               .total_seconds *
+           scale;
+  };
+  const double coarse = run_at(2000.0);
+  const double fine = run_at(500.0);
+  EXPECT_NEAR(coarse / fine, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace amped

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace amped {
+namespace {
+
+CooTensor small_tensor() {
+  CooTensor t({4, 3, 5});
+  const std::array<std::array<index_t, 3>, 5> coords{{
+      {2, 1, 4}, {0, 0, 0}, {2, 1, 4}, {1, 2, 3}, {3, 0, 1},
+  }};
+  const std::array<value_t, 5> vals{1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    t.push_back(std::span<const index_t>(coords[i].data(), 3), vals[i]);
+  }
+  return t;
+}
+
+TEST(CooTensorTest, BasicAccessors) {
+  auto t = small_tensor();
+  EXPECT_EQ(t.num_modes(), 3u);
+  EXPECT_EQ(t.nnz(), 5u);
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.bytes_per_nnz(), 16u);
+  EXPECT_EQ(t.storage_bytes(), 80u);
+  EXPECT_TRUE(t.indices_in_bounds());
+}
+
+TEST(CooTensorTest, CoordsOf) {
+  auto t = small_tensor();
+  std::array<index_t, 3> c{};
+  t.coords_of(3, c);
+  EXPECT_EQ(c[0], 1u);
+  EXPECT_EQ(c[1], 2u);
+  EXPECT_EQ(c[2], 3u);
+}
+
+TEST(CooTensorTest, SortByModeOrdersMajorKey) {
+  auto t = small_tensor();
+  t.sort_by_mode(0);
+  auto idx = t.indices(0);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  // Values follow their coordinates.
+  EXPECT_FLOAT_EQ(t.values()[0], 2.0f);  // (0,0,0)
+}
+
+TEST(CooTensorTest, SortByNonzeroModeKeepsAllElements) {
+  auto t = small_tensor();
+  t.sort_by_mode(2);
+  EXPECT_EQ(t.nnz(), 5u);
+  auto idx = t.indices(2);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+}
+
+TEST(CooTensorTest, CoalesceMergesDuplicates) {
+  auto t = small_tensor();
+  t.sort_by_mode(0);
+  const nnz_t removed = t.coalesce();
+  EXPECT_EQ(removed, 1u);  // (2,1,4) appears twice
+  EXPECT_EQ(t.nnz(), 4u);
+  // Merged value 1 + 3 = 4 at (2,1,4).
+  bool found = false;
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    if (t.indices(0)[n] == 2 && t.indices(1)[n] == 1 && t.indices(2)[n] == 4) {
+      EXPECT_FLOAT_EQ(t.values()[n], 4.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CooTensorTest, OutOfBoundsDetected) {
+  CooTensor t({2, 2});
+  const std::array<index_t, 2> bad{1, 2};  // mode-1 index == dim
+  t.push_back(std::span<const index_t>(bad.data(), 2), 1.0f);
+  EXPECT_FALSE(t.indices_in_bounds());
+}
+
+TEST(CooTensorTest, ApplyPermutationReorders) {
+  auto t = small_tensor();
+  std::vector<nnz_t> perm{4, 3, 2, 1, 0};
+  t.apply_permutation(perm);
+  EXPECT_FLOAT_EQ(t.values()[0], 5.0f);
+  EXPECT_FLOAT_EQ(t.values()[4], 1.0f);
+  EXPECT_EQ(t.indices(0)[0], 3u);
+}
+
+TEST(CooTensorTest, ShapeStringHumanReadable) {
+  CooTensor t({4'800'000, 1'800'000, 1'800'000});
+  const auto s = t.shape_string();
+  EXPECT_NE(s.find("4.8M"), std::string::npos);
+  EXPECT_NE(s.find("0 nnz"), std::string::npos);
+}
+
+TEST(DenseMatrixTest, IndexingAndRows) {
+  DenseMatrix m(3, 4);
+  m(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.bytes(), 48u);
+}
+
+TEST(DenseMatrixTest, SetZeroAndFrob) {
+  DenseMatrix m(2, 2, 3.0f);
+  EXPECT_DOUBLE_EQ(m.frob_sq(), 36.0);
+  m.set_zero();
+  EXPECT_DOUBLE_EQ(m.frob_sq(), 0.0);
+}
+
+TEST(DenseMatrixTest, FillRandomDeterministicPerSeed) {
+  Rng r1(5), r2(5);
+  DenseMatrix a(4, 4), b(4, 4);
+  a.fill_random(r1);
+  b.fill_random(r2);
+  EXPECT_DOUBLE_EQ(DenseMatrix::max_abs_diff(a, b), 0.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a(2, 2, 1.0f), b(2, 2, 1.0f);
+  b(1, 1) = 3.5f;
+  EXPECT_DOUBLE_EQ(DenseMatrix::max_abs_diff(a, b), 2.5);
+}
+
+TEST(FactorSetTest, ShapesAndBytes) {
+  Rng rng(2);
+  std::vector<index_t> dims{10, 20, 30};
+  FactorSet f(dims, 8, rng);
+  EXPECT_EQ(f.num_modes(), 3u);
+  EXPECT_EQ(f.rank(), 8u);
+  EXPECT_EQ(f.factor(1).rows(), 20u);
+  EXPECT_EQ(f.factor(1).cols(), 8u);
+  EXPECT_EQ(f.total_bytes(), (10u + 20u + 30u) * 8u * sizeof(value_t));
+}
+
+}  // namespace
+}  // namespace amped

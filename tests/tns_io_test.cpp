@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/generator.hpp"
+#include "tensor/tns_io.hpp"
+
+namespace amped {
+namespace {
+
+TEST(TnsIoTest, ParsesFrosttText) {
+  std::istringstream in(
+      "# a comment\n"
+      "1 1 1 2.5\n"
+      "3 2 5 -1.0\n");
+  auto t = read_tns(in);
+  EXPECT_EQ(t.num_modes(), 3u);
+  EXPECT_EQ(t.nnz(), 2u);
+  // Dims inferred from the 1-based max per mode.
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 2u);
+  EXPECT_EQ(t.dim(2), 5u);
+  // 0-based after parsing.
+  EXPECT_EQ(t.indices(0)[1], 2u);
+  EXPECT_FLOAT_EQ(t.values()[0], 2.5f);
+}
+
+TEST(TnsIoTest, HonoursDimsHeader) {
+  std::istringstream in(
+      "# dims: 10 10 10\n"
+      "1 1 1 1.0\n");
+  auto t = read_tns(in);
+  EXPECT_EQ(t.dim(0), 10u);
+}
+
+TEST(TnsIoTest, RejectsDimsHeaderSmallerThanData) {
+  std::istringstream in(
+      "# dims: 2 2 2\n"
+      "5 1 1 1.0\n");
+  EXPECT_THROW(read_tns(in), std::runtime_error);
+}
+
+TEST(TnsIoTest, RejectsZeroBasedIndices) {
+  std::istringstream in("0 1 1 1.0\n");
+  EXPECT_THROW(read_tns(in), std::runtime_error);
+}
+
+TEST(TnsIoTest, RejectsInconsistentModeCount) {
+  std::istringstream in(
+      "1 1 1 1.0\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_tns(in), std::runtime_error);
+}
+
+TEST(TnsIoTest, RejectsEmptyStream) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW(read_tns(in), std::runtime_error);
+}
+
+TEST(TnsIoTest, TextRoundTrip) {
+  GeneratorOptions opt;
+  opt.dims = {20, 30, 10};
+  opt.nnz = 200;
+  opt.seed = 99;
+  auto t = generate_random(opt);
+
+  std::ostringstream out;
+  write_tns(t, out);
+  std::istringstream in(out.str());
+  auto back = read_tns(in);
+
+  ASSERT_EQ(back.nnz(), t.nnz());
+  ASSERT_EQ(back.dims(), t.dims());
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      EXPECT_EQ(back.indices(m)[n], t.indices(m)[n]);
+    }
+    EXPECT_NEAR(back.values()[n], t.values()[n], 1e-5f);
+  }
+}
+
+TEST(TnsIoTest, BinaryRoundTrip) {
+  GeneratorOptions opt;
+  opt.dims = {50, 40};
+  opt.nnz = 500;
+  opt.seed = 3;
+  auto t = generate_random(opt);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "amped_io_test.amptns")
+          .string();
+  write_binary_file(t, path);
+  auto back = read_binary_file(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(back.nnz(), t.nnz());
+  ASSERT_EQ(back.dims(), t.dims());
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    EXPECT_EQ(back.indices(0)[n], t.indices(0)[n]);
+    EXPECT_EQ(back.indices(1)[n], t.indices(1)[n]);
+    EXPECT_FLOAT_EQ(back.values()[n], t.values()[n]);
+  }
+}
+
+TEST(TnsIoTest, BinaryRejectsBadMagic) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "amped_io_bad.amptns")
+          .string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTATENSORFILE----";
+  }
+  EXPECT_THROW(read_binary_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TnsIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_tns_file("/nonexistent/path/x.tns"), std::runtime_error);
+  EXPECT_THROW(read_binary_file("/nonexistent/path/x.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace amped

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+#include "sim/trace.hpp"
+#include "tensor/generator.hpp"
+
+namespace amped::sim {
+namespace {
+
+TEST(TraceTest, RecordsAndTotals) {
+  TraceLog trace;
+  trace.record({.device = 0, .phase = Phase::kCompute, .start_s = 0.0,
+                .duration_s = 1.5, .label = "k1"});
+  trace.record({.device = 1, .phase = Phase::kCompute, .start_s = 0.5,
+                .duration_s = 2.0, .label = "k2"});
+  trace.record({.device = 0, .phase = Phase::kHostToDevice,
+                .start_s = 1.5, .duration_s = 0.25, .label = ""});
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.total(Phase::kCompute), 3.5);
+  EXPECT_DOUBLE_EQ(trace.total(Phase::kCompute, 0), 1.5);
+  EXPECT_DOUBLE_EQ(trace.total(Phase::kHostToDevice, 1), 0.0);
+}
+
+TEST(TraceTest, CapacityDropsExcessEvents) {
+  TraceLog trace(2);
+  for (int i = 0; i < 5; ++i) {
+    trace.record({.device = 0, .phase = Phase::kCompute,
+                  .start_s = static_cast<double>(i), .duration_s = 1.0,
+                  .label = ""});
+  }
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 3u);
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceTest, DeviceEmitsEventsWhenAttached) {
+  SimDevice d(rtx6000_ada_spec(), 3);
+  TraceLog trace;
+  d.set_trace(&trace);
+  EXPECT_TRUE(d.tracing());
+  d.advance(Phase::kCompute, 0.5, "kernel");
+  d.advance(Phase::kCompute, 0.0);  // zero-length events are skipped
+  d.wait_until(1.0);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].device, 3);
+  EXPECT_EQ(trace.events()[0].label, "kernel");
+  EXPECT_DOUBLE_EQ(trace.events()[1].start_s, 0.5);
+  EXPECT_EQ(trace.events()[1].phase, Phase::kSync);
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormedish) {
+  TraceLog trace;
+  trace.record({.device = 0, .phase = Phase::kCompute, .start_s = 0.0,
+                .duration_s = 1e-3, .label = "ec"});
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos);  // 1 ms -> us
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceTest, MttkrpProducesCoherentTrace) {
+  GeneratorOptions opt;
+  opt.dims = {128, 96, 64};
+  opt.nnz = 20000;
+  opt.seed = 81;
+  auto input = generate_random(opt);
+  Rng rng(82);
+  FactorSet factors(input.dims(), 8, rng);
+  AmpedBuildOptions build;
+  build.num_gpus = 2;
+  auto tensor = AmpedTensor::build(input, build);
+
+  auto platform = make_default_platform(2);
+  TraceLog trace;
+  platform.attach_trace(&trace);
+  std::vector<DenseMatrix> outputs;
+  auto report =
+      mttkrp_all_modes(platform, tensor, factors, outputs, MttkrpOptions{});
+
+  // Trace totals agree with the timeline totals per phase.
+  const auto agg = platform.aggregate_timeline();
+  EXPECT_NEAR(trace.total(Phase::kCompute), agg.total(Phase::kCompute),
+              1e-12);
+  EXPECT_NEAR(trace.total(Phase::kHostToDevice),
+              agg.total(Phase::kHostToDevice), 1e-12);
+  // Events on one device never overlap and are time-ordered.
+  for (int g = 0; g < 2; ++g) {
+    double cursor = 0.0;
+    for (const auto& e : trace.events()) {
+      if (e.device != g) continue;
+      EXPECT_GE(e.start_s, cursor - 1e-15);
+      cursor = e.start_s + e.duration_s;
+    }
+  }
+  // Compute events carry the shard label.
+  bool labelled = false;
+  for (const auto& e : trace.events()) {
+    if (e.phase == Phase::kCompute && e.label.rfind("grid mode", 0) == 0) {
+      labelled = true;
+    }
+  }
+  EXPECT_TRUE(labelled);
+  EXPECT_GT(report.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace amped::sim
