@@ -41,8 +41,11 @@ void run_config(benchmark::State& state, nnz_t width, std::size_t rank) {
     auto report = mttkrp_all_modes(platform, tensor, factors, outputs, opt);
     seconds = extrapolate(report.total_seconds);
   }
-  results()["P" + std::to_string(width) + "_R" + std::to_string(rank)] =
-      seconds;
+  std::string key = "P";
+  key += std::to_string(width);
+  key += "_R";
+  key += std::to_string(rank);
+  results()[key] = seconds;
   state.counters["full_scale_s"] = seconds;
 }
 
@@ -73,8 +76,10 @@ void print_summary() {
   std::printf("\n=== Ablation A4: threadblock geometry on Amazon ===\n");
   std::printf("width sweep (R = 32):\n");
   for (nnz_t w : kWidths) {
-    print_row("A4", "amazon", "P=" + std::to_string(w),
-              results()["P" + std::to_string(w) + "_R32"], "s");
+    std::string key = "P";
+    key += std::to_string(w);
+    key += "_R32";
+    print_row("A4", "amazon", "P=" + std::to_string(w), results()[key], "s");
   }
   std::printf("rank sweep (P = 32):\n");
   for (std::size_t r : kRanks) {

@@ -1,0 +1,64 @@
+# Build options and global compile settings for the AMPED reproduction.
+#
+# Everything funnels into the amped_options / amped_warnings interface
+# targets, which every AMPED target links against. Keep policy here so the
+# per-directory CMakeLists stay declarative.
+
+option(AMPED_BUILD_TESTS "Build the GoogleTest suites in tests/" ON)
+option(AMPED_BUILD_BENCH "Build the paper-figure benchmark binaries in bench/" ON)
+option(AMPED_BUILD_EXAMPLES "Build the example programs in examples/" ON)
+option(AMPED_WERROR "Treat compiler warnings as errors" OFF)
+option(AMPED_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
+option(AMPED_ENABLE_OPENMP "Link OpenMP if available (used by util/thread_pool consumers)" OFF)
+
+# Default to an optimized build: this repo exists to measure things.
+if(NOT CMAKE_BUILD_TYPE AND NOT CMAKE_CONFIGURATION_TYPES)
+  set(CMAKE_BUILD_TYPE Release CACHE STRING "Build type" FORCE)
+  set_property(CACHE CMAKE_BUILD_TYPE PROPERTY STRINGS Release Debug RelWithDebInfo MinSizeRel)
+endif()
+
+set(CMAKE_CXX_STANDARD 20)
+set(CMAKE_CXX_STANDARD_REQUIRED ON)
+set(CMAKE_CXX_EXTENSIONS OFF)
+
+# amped_options: language level, threads, sanitizers, OpenMP.
+add_library(amped_options INTERFACE)
+target_compile_features(amped_options INTERFACE cxx_std_20)
+
+find_package(Threads REQUIRED)
+target_link_libraries(amped_options INTERFACE Threads::Threads)
+
+if(AMPED_SANITIZE)
+  # Global, not per-target: FetchContent-built GoogleTest/Benchmark must be
+  # instrumented too, or ASan false-positives on containers crossing the
+  # instrumented/uninstrumented boundary.
+  add_compile_options(-fsanitize=address,undefined
+    -fno-sanitize-recover=undefined -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined
+    -fno-sanitize-recover=undefined)
+endif()
+
+if(AMPED_ENABLE_OPENMP)
+  find_package(OpenMP)
+  if(OpenMP_CXX_FOUND)
+    target_link_libraries(amped_options INTERFACE OpenMP::OpenMP_CXX)
+  else()
+    message(WARNING "AMPED_ENABLE_OPENMP=ON but no OpenMP runtime was found; continuing without it")
+  endif()
+endif()
+
+# amped_warnings: kept separate from amped_options so third-party code
+# (GoogleTest) never inherits our warning set.
+add_library(amped_warnings INTERFACE)
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(amped_warnings INTERFACE
+    -Wall -Wextra -Wpedantic -Wshadow -Wnon-virtual-dtor)
+  if(AMPED_WERROR)
+    target_compile_options(amped_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(amped_warnings INTERFACE /W4)
+  if(AMPED_WERROR)
+    target_compile_options(amped_warnings INTERFACE /WX)
+  endif()
+endif()

@@ -2,8 +2,7 @@
 // generated demo tensor) on the simulated multi-GPU platform, then save
 // the model for downstream use.
 //
-//   ./decompose_file --input my_tensor.tns --rank 16 --gpus 4 \
-//                    --output model.ampfac
+//   ./decompose_file --input my_tensor.tns --rank 16 --gpus 4 --output model.ampfac
 //
 // Without --input, a small demo tensor is generated and written next to
 // the model so the whole I/O path is exercised.

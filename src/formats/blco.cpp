@@ -9,11 +9,10 @@
 namespace amped::formats {
 
 namespace {
-using Key128 = unsigned __int128;
 
-Key128 full_key(const CooTensor& t, nnz_t e,
-                std::span<const unsigned> bits) {
-  Key128 key = 0;
+key128_t full_key(const CooTensor& t, nnz_t e,
+                  std::span<const unsigned> bits) {
+  key128_t key = 0;
   for (std::size_t m = 0; m < t.num_modes(); ++m) {
     key = (key << bits[m]) | t.indices(m)[e];
   }
@@ -43,13 +42,13 @@ BlcoTensor BlcoTensor::build(const CooTensor& t, nnz_t max_block_elems) {
 
   out.keys_.resize(t.nnz());
   out.values_.resize(t.nnz());
-  const Key128 low_mask =
-      out.low_bits_total_ == 64 ? ~Key128{0} >> 64
-                                : ((Key128{1} << out.low_bits_total_) - 1);
+  const key128_t low_mask =
+      out.low_bits_total_ == 64 ? ~key128_t{0} >> 64
+                                : ((key128_t{1} << out.low_bits_total_) - 1);
 
   std::uint64_t prev_high = 0;
   for (nnz_t i = 0; i < perm.size(); ++i) {
-    const Key128 key = full_key(t, perm[i], out.bits_);
+    const key128_t key = full_key(t, perm[i], out.bits_);
     const auto high = static_cast<std::uint64_t>(key >> out.low_bits_total_);
     out.keys_[i] = static_cast<std::uint64_t>(key & low_mask);
     out.values_[i] = t.values()[perm[i]];
@@ -79,7 +78,7 @@ void BlcoTensor::coords_of(nnz_t e, std::span<index_t> out) const {
       [](nnz_t v, const Block& b) { return v < b.begin; });
   assert(it != blocks_.begin());
   const Block& b = *(it - 1);
-  Key128 key = (Key128{b.high_bits} << low_bits_total_) | keys_[e];
+  key128_t key = (key128_t{b.high_bits} << low_bits_total_) | keys_[e];
   for (std::size_t i = num_modes(); i-- > 0;) {
     const std::size_t m = mode_order_[i];
     out[m] = static_cast<index_t>(

@@ -18,6 +18,10 @@
 
 namespace amped::formats {
 
+// 128-bit key wide enough for any supported index space. __extension__
+// keeps -Wpedantic quiet about the GCC/Clang builtin.
+__extension__ typedef unsigned __int128 key128_t;
+
 class BlcoTensor {
  public:
   struct Block {
@@ -57,9 +61,8 @@ class BlcoTensor {
   void visit_block(const Block& b, Fn&& fn) const {
     index_t coords[kMaxModes];
     for (nnz_t e = b.begin; e < b.end; ++e) {
-      unsigned __int128 key =
-          (static_cast<unsigned __int128>(b.high_bits) << low_bits_total_) |
-          keys_[e];
+      key128_t key =
+          (static_cast<key128_t>(b.high_bits) << low_bits_total_) | keys_[e];
       for (std::size_t i = num_modes(); i-- > 0;) {
         const std::size_t m = mode_order_[i];
         coords[m] = static_cast<index_t>(

@@ -53,8 +53,8 @@ INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineCorrectness,
                          ::testing::Values("amped", "blco", "mm-csf",
                                            "hicoo-gpu", "parti-gpu",
                                            "flycoo-gpu", "equal-nnz"),
-                         [](const auto& info) {
-                           std::string n = info.param;
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
                            for (auto& c : n) {
                              if (c == '-') c = '_';
                            }

@@ -125,9 +125,12 @@ INSTANTIATE_TEST_SUITE_P(
     ModesAndSkew, FormatProperty,
     ::testing::Combine(::testing::Values<std::size_t>(2, 3, 4, 5),
                        ::testing::Values(0.0, 0.9, 1.4)),
-    [](const auto& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_s" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    [](const auto& param_info) {
+      std::string n = "m";
+      n += std::to_string(std::get<0>(param_info.param));
+      n += "_s";
+      n += std::to_string(static_cast<int>(std::get<1>(param_info.param) * 10));
+      return n;
     });
 
 }  // namespace

@@ -45,7 +45,9 @@ TEST(SortingTest, ModeBitsCoverDims) {
   auto bits = mode_bits(dims);
   for (std::size_t m = 0; m < dims.size(); ++m) {
     EXPECT_GE(1ull << bits[m], dims[m]);
-    if (bits[m] > 1) EXPECT_LT(1ull << (bits[m] - 1), dims[m]);
+    if (bits[m] > 1) {
+      EXPECT_LT(1ull << (bits[m] - 1), dims[m]);
+    }
   }
 }
 

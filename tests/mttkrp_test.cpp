@@ -65,13 +65,18 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2, 4),
                        ::testing::Values(SchedulingPolicy::kStaticGreedy,
                                          SchedulingPolicy::kDynamicQueue)),
-    [](const auto& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_s" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
-             "_g" + std::to_string(std::get<2>(info.param)) + "_" +
-             (std::get<3>(info.param) == SchedulingPolicy::kStaticGreedy
-                  ? "greedy"
-                  : "dyn");
+    [](const auto& param_info) {
+      std::string n = "m";
+      n += std::to_string(std::get<0>(param_info.param));
+      n += "_s";
+      n += std::to_string(static_cast<int>(std::get<1>(param_info.param) * 10));
+      n += "_g";
+      n += std::to_string(std::get<2>(param_info.param));
+      n += "_";
+      n += (std::get<3>(param_info.param) == SchedulingPolicy::kStaticGreedy
+                ? "greedy"
+                : "dyn");
+      return n;
     });
 
 TEST(MttkrpTest, ReportStructure) {
