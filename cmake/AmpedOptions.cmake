@@ -10,6 +10,7 @@ option(AMPED_BUILD_EXAMPLES "Build the example programs in examples/" ON)
 option(AMPED_WERROR "Treat compiler warnings as errors" OFF)
 option(AMPED_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
 option(AMPED_ENABLE_OPENMP "Link OpenMP if available (used by util/thread_pool consumers)" OFF)
+option(AMPED_NATIVE_ARCH "Compile for the host CPU (-march=native); the EC kernel's hadamard/accumulate loops vectorise substantially wider with AVX2+" ON)
 
 # Default to an optimized build: this repo exists to measure things.
 if(NOT CMAKE_BUILD_TYPE AND NOT CMAKE_CONFIGURATION_TYPES)
@@ -36,6 +37,16 @@ if(AMPED_SANITIZE)
     -fno-sanitize-recover=undefined -fno-omit-frame-pointer)
   add_link_options(-fsanitize=address,undefined
     -fno-sanitize-recover=undefined)
+endif()
+
+if(AMPED_NATIVE_ARCH AND CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  include(CheckCXXCompilerFlag)
+  check_cxx_compiler_flag(-march=native AMPED_HAS_MARCH_NATIVE)
+  if(AMPED_HAS_MARCH_NATIVE)
+    target_compile_options(amped_options INTERFACE -march=native)
+  else()
+    message(STATUS "AMPED_NATIVE_ARCH=ON but -march=native is unsupported; continuing without it")
+  endif()
 endif()
 
 if(AMPED_ENABLE_OPENMP)

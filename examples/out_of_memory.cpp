@@ -99,6 +99,7 @@ void race(const ScaledDataset& ds, double scale) {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  apply_common_flags(args);
   const double scale = args.get_double("scale", 2000.0);
   const std::string which = args.get("dataset", "all");
   const std::uint64_t capacity = sim::rtx6000_ada_spec().mem_bytes;

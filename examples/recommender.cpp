@@ -32,6 +32,7 @@ double cosine(std::span<const amped::value_t> a,
 int main(int argc, char** argv) {
   using namespace amped;
   CliArgs args(argc, argv);
+  apply_common_flags(args);
   const double scale = args.get_double("scale", 4000.0);
   const auto rank = static_cast<std::size_t>(args.get_int("rank", 16));
   const auto iters = static_cast<std::size_t>(args.get_int("iters", 8));

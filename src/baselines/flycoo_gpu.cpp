@@ -66,7 +66,8 @@ BaselineResult run_flycoo_gpu(sim::Platform& platform, const CooTensor& t,
     std::vector<double> block_seconds;
     for (nnz_t lo = 0; lo < t.nnz(); lo += seg) {
       const nnz_t hi = std::min<nnz_t>(t.nnz(), lo + seg);
-      auto stats = run_ec_block(sorted, lo, hi, d, factors, out);
+      auto stats = run_ec_block(sorted, lo, hi, d, factors, out,
+                                BlockOrder::kOutputSorted);
       stats.block_width = static_cast<std::size_t>(options.block_width);
       block_seconds.push_back(cost.ec_block_seconds(stats, profile));
     }

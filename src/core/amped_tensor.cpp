@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <exception>
 
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace amped {
@@ -41,12 +43,26 @@ AmpedTensor AmpedTensor::build(const CooTensor& input,
 
   const std::size_t shards =
       options.shards_per_gpu * static_cast<std::size_t>(options.num_gpus);
-  for (std::size_t d = 0; d < input.num_modes(); ++d) {
-    ModeCopy copy;
-    copy.tensor = input;  // deep copy, then reorder for this output mode
-    copy.tensor.sort_by_mode(d);
-    copy.partition = build_mode_partition(copy.tensor, d, shards);
-    out.copies_.push_back(std::move(copy));
+  // Per-mode copy builds are independent (each deep-copies the read-only
+  // input, sorts it, and writes its own slot), so they spread across the
+  // host thread pool. Slot order makes the result independent of
+  // completion order.
+  out.copies_.resize(input.num_modes());
+  std::vector<std::exception_ptr> errors(input.num_modes());
+  global_thread_pool().parallel_for(
+      input.num_modes(), [&](std::size_t d) {
+        try {
+          ModeCopy copy;
+          copy.tensor = input;  // deep copy, then reorder for this mode
+          copy.tensor.sort_by_mode(d);
+          copy.partition = build_mode_partition(copy.tensor, d, shards);
+          out.copies_[d] = std::move(copy);
+        } catch (...) {
+          errors[d] = std::current_exception();
+        }
+      });
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
   }
 
   if (stats) {

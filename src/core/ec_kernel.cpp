@@ -1,59 +1,209 @@
 #include "core/ec_kernel.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
-#include <unordered_map>
 
 namespace amped {
 
-sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
-                               std::size_t output_mode,
-                               const FactorSet& factors, DenseMatrix& out) {
-  assert(end <= t.nnz() && begin <= end);
-  assert(output_mode < t.num_modes());
-  const std::size_t modes = t.num_modes();
-  const std::size_t rank = factors.rank();
+#if defined(__GNUC__) || defined(__clang__)
+#define AMPED_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define AMPED_PREFETCH(addr) ((void)0)
+#endif
 
+namespace {
+
+// Largest rank the register-accumulation buffers support (matches the
+// historical scratch-array bound).
+constexpr std::size_t kMaxRank = 256;
+
+// Elements looked ahead for factor-row prefetches. The gathers are the
+// kernel's only irregular accesses; fetching them a few elements early
+// hides most of the L2/L3 latency they would otherwise serialise on.
+constexpr nnz_t kPrefetchDistance = 8;
+
+// Hoisted per-block views: one index pointer and one factor-data pointer
+// per input mode, so the element loop performs no span construction, no
+// mode test, and no virtual-width indexing.
+struct InputMode {
+  const index_t* idx;   // coordinate array of this mode
+  const value_t* fac;   // factor matrix data, row-major, `rank` wide
+};
+
+// Arithmetic + run-structure core. kRankC is the compile-time rank (0 =
+// runtime rank): with the rank a constant the hadamard/accumulate loops
+// fully unroll and vectorise over the __restrict pointers. Elements of a
+// same-output-index run accumulate into `acc` registers and flush to the
+// output row once per run; stats gather the run structure on the way
+// (multiplicity is filled in by the caller for unsorted blocks).
+template <std::size_t kRankC>
+sim::EcBlockStats ec_block_kernel(const index_t* __restrict out_idx,
+                                  const value_t* __restrict vals,
+                                  const InputMode* __restrict inputs,
+                                  std::size_t num_inputs,
+                                  std::size_t runtime_rank, nnz_t begin,
+                                  nnz_t end, value_t* __restrict out_data) {
+  const std::size_t rank = kRankC ? kRankC : runtime_rank;
   sim::EcBlockStats stats;
   stats.nnz = end - begin;
-  stats.modes = modes;
   stats.rank = rank;
-  if (begin == end) return stats;
 
-  const auto out_idx = t.indices(output_mode);
-  const auto vals = t.values();
-  std::array<value_t, 256> scratch{};
-  assert(rank <= scratch.size());
+  value_t acc[kRankC ? kRankC : kMaxRank];
+  value_t prod[kRankC ? kRankC : kMaxRank];
+
+  // The first two input modes (all of a 3-mode tensor) get dedicated
+  // __restrict locals so the element loop runs without indirection through
+  // the mode table; rarer higher modes take the generic tail loop.
+  const index_t* __restrict idx0 = num_inputs > 0 ? inputs[0].idx : nullptr;
+  const value_t* __restrict fac0 = num_inputs > 0 ? inputs[0].fac : nullptr;
+  const index_t* __restrict idx1 = num_inputs > 1 ? inputs[1].idx : nullptr;
+  const value_t* __restrict fac1 = num_inputs > 1 ? inputs[1].fac : nullptr;
 
   index_t run_index = out_idx[begin];
   nnz_t run_len = 0;
   stats.output_runs = 1;
-  std::unordered_map<index_t, nnz_t> multiplicity;
-  multiplicity.reserve(static_cast<std::size_t>(end - begin));
+  for (std::size_t r = 0; r < rank; ++r) acc[r] = value_t{0};
 
   for (nnz_t n = begin; n < end; ++n) {
-    const value_t v = vals[n];
-    for (std::size_t r = 0; r < rank; ++r) scratch[r] = v;
-    for (std::size_t w = 0; w < modes; ++w) {
-      if (w == output_mode) continue;
-      const auto row = factors.factor(w).row(t.indices(w)[n]);
-      for (std::size_t r = 0; r < rank; ++r) scratch[r] *= row[r];
+    // Factor-row gathers are the only irregular loads; at rank >= 16 the
+    // rows span multiple cache lines and routinely miss L2, so start them
+    // early. Narrow ranks stay cache-resident and skip the overhead (the
+    // gate is compile-time for the specialised kernels).
+    if constexpr (kRankC == 0 || kRankC >= 16) {
+      if ((kRankC != 0 || rank >= 16) && n + kPrefetchDistance < end) {
+        if (idx0 != nullptr) {
+          const value_t* next =
+              fac0 + static_cast<std::size_t>(idx0[n + kPrefetchDistance]) *
+                         rank;
+          AMPED_PREFETCH(next);
+          for (std::size_t b = 16; b < rank; b += 16) {
+            AMPED_PREFETCH(next + b);
+          }
+        }
+        if (idx1 != nullptr) {
+          const value_t* next =
+              fac1 + static_cast<std::size_t>(idx1[n + kPrefetchDistance]) *
+                         rank;
+          AMPED_PREFETCH(next);
+          for (std::size_t b = 16; b < rank; b += 16) {
+            AMPED_PREFETCH(next + b);
+          }
+        }
+      }
     }
-    const index_t i = out_idx[n];
-    auto out_row = out.row(i);
-    for (std::size_t r = 0; r < rank; ++r) out_row[r] += scratch[r];
 
-    if (i == run_index) {
-      ++run_len;
+    const value_t v = vals[n];
+    if (idx0 == nullptr) {
+      for (std::size_t r = 0; r < rank; ++r) prod[r] = v;
     } else {
+      const value_t* __restrict row0 =
+          fac0 + static_cast<std::size_t>(idx0[n]) * rank;
+      for (std::size_t r = 0; r < rank; ++r) prod[r] = v * row0[r];
+      if (idx1 != nullptr) {
+        const value_t* __restrict row1 =
+            fac1 + static_cast<std::size_t>(idx1[n]) * rank;
+        for (std::size_t r = 0; r < rank; ++r) prod[r] *= row1[r];
+      }
+      for (std::size_t w = 2; w < num_inputs; ++w) {
+        const value_t* __restrict row =
+            inputs[w].fac + static_cast<std::size_t>(inputs[w].idx[n]) * rank;
+        for (std::size_t r = 0; r < rank; ++r) prod[r] *= row[r];
+      }
+    }
+
+    const index_t i = out_idx[n];
+    if (i != run_index) {
+      value_t* __restrict out_row =
+          out_data + static_cast<std::size_t>(run_index) * rank;
+      for (std::size_t r = 0; r < rank; ++r) out_row[r] += acc[r];
+      for (std::size_t r = 0; r < rank; ++r) acc[r] = prod[r];
       stats.max_run = std::max(stats.max_run, run_len);
       ++stats.output_runs;
       run_index = i;
       run_len = 1;
+    } else {
+      for (std::size_t r = 0; r < rank; ++r) acc[r] += prod[r];
+      ++run_len;
     }
-    stats.max_multiplicity = std::max(stats.max_multiplicity, ++multiplicity[i]);
   }
+  value_t* __restrict out_row =
+      out_data + static_cast<std::size_t>(run_index) * rank;
+  for (std::size_t r = 0; r < rank; ++r) out_row[r] += acc[r];
   stats.max_run = std::max(stats.max_run, run_len);
+  return stats;
+}
+
+}  // namespace
+
+sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
+                               std::size_t output_mode,
+                               const FactorSet& factors, DenseMatrix& out,
+                               BlockOrder order) {
+  assert(end <= t.nnz() && begin <= end);
+  assert(output_mode < t.num_modes());
+  const std::size_t modes = t.num_modes();
+  const std::size_t rank = factors.rank();
+  assert(rank <= kMaxRank);
+
+  if (begin == end) {
+    sim::EcBlockStats stats;
+    stats.modes = modes;
+    stats.rank = rank;
+    return stats;
+  }
+
+  std::array<InputMode, kMaxModes> inputs{};
+  std::size_t num_inputs = 0;
+  for (std::size_t w = 0; w < modes; ++w) {
+    if (w == output_mode) continue;
+    inputs[num_inputs++] = {t.indices(w).data(),
+                            factors.factor(w).data().data()};
+  }
+
+  const index_t* out_idx = t.indices(output_mode).data();
+  const value_t* vals = t.values().data();
+  value_t* out_data = out.data().data();
+
+  sim::EcBlockStats stats;
+  switch (rank) {
+    case 8:
+      stats = ec_block_kernel<8>(out_idx, vals, inputs.data(), num_inputs,
+                                 rank, begin, end, out_data);
+      break;
+    case 16:
+      stats = ec_block_kernel<16>(out_idx, vals, inputs.data(), num_inputs,
+                                  rank, begin, end, out_data);
+      break;
+    case 32:
+      stats = ec_block_kernel<32>(out_idx, vals, inputs.data(), num_inputs,
+                                  rank, begin, end, out_data);
+      break;
+    case 64:
+      stats = ec_block_kernel<64>(out_idx, vals, inputs.data(), num_inputs,
+                                  rank, begin, end, out_data);
+      break;
+    default:
+      stats = ec_block_kernel<0>(out_idx, vals, inputs.data(), num_inputs,
+                                 rank, begin, end, out_data);
+      break;
+  }
+  stats.modes = modes;
+
+  if (order == BlockOrder::kOutputSorted) {
+    // Output-sorted block: every output index is one contiguous run, so
+    // the highest per-index count *is* the longest run.
+    stats.max_multiplicity = stats.max_run;
+  } else {
+    // Unsorted block: exact per-index tally, off the arithmetic path.
+    std::unordered_map<index_t, nnz_t> multiplicity;
+    multiplicity.reserve(static_cast<std::size_t>(end - begin));
+    nnz_t max_mult = 0;
+    for (nnz_t n = begin; n < end; ++n) {
+      max_mult = std::max(max_mult, ++multiplicity[out_idx[n]]);
+    }
+    stats.max_multiplicity = max_mult;
+  }
   return stats;
 }
 
@@ -67,14 +217,19 @@ void RunStatsAccumulator::feed(index_t output_index) {
     ++run_len_;
   }
   ++stats_.nnz;
-  stats_.max_multiplicity =
-      std::max(stats_.max_multiplicity, ++multiplicity_[output_index]);
+  if (order_ == BlockOrder::kUnsorted) {
+    stats_.max_multiplicity =
+        std::max(stats_.max_multiplicity, ++multiplicity_[output_index]);
+  }
 }
 
 sim::EcBlockStats RunStatsAccumulator::finish(std::size_t modes,
                                               std::size_t rank,
                                               std::size_t block_width) {
   stats_.max_run = std::max(stats_.max_run, run_len_);
+  if (order_ == BlockOrder::kOutputSorted) {
+    stats_.max_multiplicity = stats_.max_run;
+  }
   stats_.modes = modes;
   stats_.rank = rank;
   stats_.block_width = block_width;

@@ -9,6 +9,12 @@
 // transfer / cost logic. While executing, it gathers the block statistics
 // (same-output-row run structure) the simulator's atomic-contention model
 // consumes.
+//
+// The inner loops are specialised by rank (8/16/32/64 plus a generic
+// fallback) over __restrict pointers so the compiler vectorises the
+// hadamard/accumulate arithmetic, and same-output-index runs accumulate in
+// registers with one output-row update per run — the register-accumulation
+// the cost model already assumes for sorted layouts.
 #pragma once
 
 #include <unordered_map>
@@ -19,24 +25,41 @@
 
 namespace amped {
 
+// Element ordering of a block, which decides how run statistics are
+// gathered. AMPED shards and FLYCOO's remapped copies are sorted by the
+// output-mode index, so every output index forms one contiguous run and
+// max_multiplicity == max_run — no per-element bookkeeping beyond the run
+// boundary test. Unsorted blocks need an exact per-index tally.
+enum class BlockOrder {
+  kUnsorted,      // exact multiplicity via a per-index tally
+  kOutputSorted,  // multiplicity == longest run; no tally
+};
+
 // Runs EC over elements [begin, end) of `t`, accumulating into `out`
 // (dim(output_mode) x R). Returns the block stats for the cost model.
 sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
                                std::size_t output_mode,
-                               const FactorSet& factors, DenseMatrix& out);
+                               const FactorSet& factors, DenseMatrix& out,
+                               BlockOrder order = BlockOrder::kUnsorted);
 
 // Incremental collector of the same output-index run statistics for
 // callers that drive their own element loops (the baseline kernels over
 // BLCO blocks, HiCOO superblocks, ...). Feed output indices in stream
-// order, then finish() with the kernel geometry.
+// order, then finish() with the kernel geometry. Constructing with
+// kOutputSorted promises indices arrive grouped by value, collapsing the
+// multiplicity tally into the run tracker.
 class RunStatsAccumulator {
  public:
+  explicit RunStatsAccumulator(BlockOrder order = BlockOrder::kUnsorted)
+      : order_(order) {}
+
   void feed(index_t output_index);
   sim::EcBlockStats finish(std::size_t modes, std::size_t rank,
                            std::size_t block_width);
   void reset();
 
  private:
+  BlockOrder order_;
   sim::EcBlockStats stats_;
   index_t run_index_ = 0;
   nnz_t run_len_ = 0;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 #include <queue>
 
 #include "core/ec_kernel.hpp"
 #include "sim/executor.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amped {
 
@@ -65,9 +67,10 @@ ShardCost prepare_shard(sim::Platform& platform, int gpu,
 
   std::vector<double> block_seconds;
   for (auto [lo, hi] : split_isps(shard, isp_size)) {
+    // Mode copies are output-sorted, so the sorted stats fast path holds.
     auto stats = run_ec_block(copy.tensor, shard.nnz_begin + lo,
                               shard.nnz_begin + hi, copy.partition.mode,
-                              factors, out);
+                              factors, out, BlockOrder::kOutputSorted);
     stats.block_width = static_cast<std::size_t>(options.block_width);
     block_seconds.push_back(
         platform.cost_model(gpu).ec_block_seconds(stats, profile));
@@ -117,7 +120,6 @@ double execute_pipelined(sim::Platform& platform, int gpu,
   double copy_clock = start;
   double compute_clock = start;
   double ec_total = 0.0;
-  double h2d_total = 0.0;
   for (std::size_t id : shard_ids) {
     const auto& shard = copy.partition.shards[id];
     const ShardCost cost = prepare_shard(platform, gpu, copy, shard,
@@ -126,7 +128,6 @@ double execute_pipelined(sim::Platform& platform, int gpu,
     copy_clock = landed;
     compute_clock = std::max(compute_clock, landed) + cost.ec;
     ec_total += cost.ec;
-    h2d_total += cost.h2d;
   }
   const double finish = std::max(copy_clock, compute_clock);
   // Exposed transfer = whatever the compute could not hide.
@@ -134,7 +135,6 @@ double execute_pipelined(sim::Platform& platform, int gpu,
       std::max(0.0, finish - start - ec_total);
   device.advance(sim::Phase::kHostToDevice, exposed_h2d);
   device.advance(sim::Phase::kCompute, ec_total);
-  (void)h2d_total;
   if (ec_total_out) *ec_total_out = ec_total;
   return finish - start;
 }
@@ -211,24 +211,50 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
     } else {
       assignment = assign_shards(partition, m, options.policy);
     }
-    for (int g = 0; g < m; ++g) {
-      const auto& ids = assignment.per_gpu[static_cast<std::size_t>(g)];
+    // Static assignments execute each GPU's shard list on the host thread
+    // pool: shards of one mode own disjoint output index ranges, each
+    // GPU's simulated state (clock, timeline, memory meter) is private,
+    // and cost queries on Platform are const — so per-GPU execution is
+    // embarrassingly parallel and bit-identical to the serial loop (the
+    // per-GPU element order is unchanged). Tracing serialises: the shared
+    // TraceLog is not thread-safe and event order should stay stable.
+    auto run_gpu = [&](std::size_t gs) {
+      const int g = static_cast<int>(gs);
+      const auto& ids = assignment.per_gpu[gs];
       if (options.pipelined_streaming) {
         double ec_total = 0.0;
         execute_pipelined(platform, g, copy, ids, factors, out, options,
                           profile, &ec_total);
-        bd.per_gpu_compute[static_cast<std::size_t>(g)] += ec_total;
+        bd.per_gpu_compute[gs] += ec_total;
       } else {
         for (std::size_t id : ids) {
           const double ec = execute_shard(platform, g, copy,
                                           partition.shards[id], factors,
                                           out, options, profile);
-          bd.per_gpu_compute[static_cast<std::size_t>(g)] += ec;
+          bd.per_gpu_compute[gs] += ec;
         }
       }
       for (std::size_t id : ids) {
-        owned_rows[static_cast<std::size_t>(g)] +=
-            partition.shards[id].index_count();
+        owned_rows[gs] += partition.shards[id].index_count();
+      }
+    };
+    const bool tracing = platform.gpu(0).tracing();
+    if (m > 1 && !tracing && host_parallelism() > 1) {
+      std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
+      global_thread_pool().parallel_for(
+          static_cast<std::size_t>(m), [&](std::size_t g) {
+            try {
+              run_gpu(g);
+            } catch (...) {
+              errors[g] = std::current_exception();
+            }
+          });
+      for (auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    } else {
+      for (std::size_t g = 0; g < static_cast<std::size_t>(m); ++g) {
+        run_gpu(g);
       }
     }
   }

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
-#include <numeric>
 #include <unordered_map>
+
+#include "util/radix_sort.hpp"
 
 namespace amped::formats {
 
@@ -21,26 +22,32 @@ HicooTensor HicooTensor::build(const CooTensor& t, unsigned block_bits) {
   out.block_bits_ = block_bits;
 
   // Sort nonzeros by block coordinates (lexicographic over block ids), so
-  // each block is one contiguous range.
-  std::vector<nnz_t> perm(t.nnz());
-  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  // each block is one contiguous range; within a block, order by the full
+  // coordinates for a deterministic layout. With equal block ids the full
+  // coordinates compare exactly like the within-block offsets, so the key
+  // columns are (block ids per mode, offsets per mode) — narrow enough to
+  // stay on the packed-key radix path for typical shapes.
   auto block_of = [&](nnz_t e, std::size_t m) {
     return t.indices(m)[e] >> block_bits;
   };
-  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
-    for (std::size_t m = 0; m < modes; ++m) {
-      const index_t ba = block_of(a, m), bb = block_of(b, m);
-      if (ba != bb) return ba < bb;
+  std::vector<std::vector<index_t>> block_ids(modes), block_offsets(modes);
+  std::vector<util::SortKeyColumn> columns;
+  columns.reserve(2 * modes);
+  const index_t offset_bound = index_t{1} << block_bits;
+  for (std::size_t m = 0; m < modes; ++m) {
+    block_ids[m].resize(t.nnz());
+    block_offsets[m].resize(t.nnz());
+    const auto idx = t.indices(m);
+    for (nnz_t e = 0; e < t.nnz(); ++e) {
+      block_ids[m][e] = idx[e] >> block_bits;
+      block_offsets[m][e] = idx[e] & (offset_bound - 1);
     }
-    // Within a block keep element order stable by full coordinates for
-    // deterministic layout.
-    for (std::size_t m = 0; m < modes; ++m) {
-      if (t.indices(m)[a] != t.indices(m)[b]) {
-        return t.indices(m)[a] < t.indices(m)[b];
-      }
-    }
-    return false;
-  });
+    columns.push_back({block_ids[m], ((t.dim(m) - 1) >> block_bits) + 1});
+  }
+  for (std::size_t m = 0; m < modes; ++m) {
+    columns.push_back({block_offsets[m], offset_bound});
+  }
+  const auto perm = util::lexicographic_sort_permutation(columns);
 
   out.values_.resize(t.nnz());
   out.offsets_.resize(t.nnz() * modes);

@@ -1,24 +1,20 @@
 #include "formats/sorting.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <numeric>
+
+#include "util/radix_sort.hpp"
 
 namespace amped::formats {
 
 std::vector<nnz_t> lexicographic_permutation(
     const CooTensor& t, std::span<const std::size_t> mode_order) {
   assert(mode_order.size() == t.num_modes());
-  std::vector<nnz_t> perm(t.nnz());
-  std::iota(perm.begin(), perm.end(), nnz_t{0});
-  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
-    for (std::size_t m : mode_order) {
-      const auto idx = t.indices(m);
-      if (idx[a] != idx[b]) return idx[a] < idx[b];
-    }
-    return false;
-  });
-  return perm;
+  std::vector<util::SortKeyColumn> columns;
+  columns.reserve(mode_order.size());
+  for (std::size_t m : mode_order) {
+    columns.push_back({t.indices(m), t.dim(m)});
+  }
+  return util::lexicographic_sort_permutation(columns);
 }
 
 void sort_lexicographic(CooTensor& t,
@@ -30,11 +26,7 @@ void sort_lexicographic(CooTensor& t,
 std::vector<unsigned> mode_bits(std::span<const index_t> dims) {
   std::vector<unsigned> bits;
   bits.reserve(dims.size());
-  for (index_t d : dims) {
-    unsigned b = 1;
-    while ((1ull << b) < d) ++b;
-    bits.push_back(b);
-  }
+  for (index_t d : dims) bits.push_back(util::bits_for_bound(d));
   return bits;
 }
 

@@ -4,6 +4,9 @@
 // permutation (CSF's tree order, HiCOO's block-major order, BLCO's
 // linearised order). These helpers produce the permutation without moving
 // the tensor until the final apply, so a build does one gather per array.
+// Permutations come from the LSD radix sort in util/radix_sort.hpp when
+// the concatenated mode bits fit 64-bit packed keys, with a comparison
+// sort fallback for wider index spaces.
 #pragma once
 
 #include <cstddef>

@@ -1,9 +1,9 @@
 #include "tensor/coo_tensor.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <numeric>
 #include <sstream>
+
+#include "util/radix_sort.hpp"
 
 namespace amped {
 
@@ -39,21 +39,14 @@ void CooTensor::apply_permutation(std::span<const nnz_t> perm) {
 
 void CooTensor::sort_by_mode(std::size_t major_mode) {
   assert(major_mode < num_modes());
-  std::vector<nnz_t> perm(nnz());
-  std::iota(perm.begin(), perm.end(), nnz_t{0});
   // Key order: major mode first, then the remaining modes ascending.
-  std::vector<std::size_t> key_order;
-  key_order.push_back(major_mode);
+  std::vector<util::SortKeyColumn> columns;
+  columns.reserve(num_modes());
+  columns.push_back({index_[major_mode], dims_[major_mode]});
   for (std::size_t m = 0; m < num_modes(); ++m) {
-    if (m != major_mode) key_order.push_back(m);
+    if (m != major_mode) columns.push_back({index_[m], dims_[m]});
   }
-  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
-    for (std::size_t m : key_order) {
-      if (index_[m][a] != index_[m][b]) return index_[m][a] < index_[m][b];
-    }
-    return false;
-  });
-  apply_permutation(perm);
+  apply_permutation(util::lexicographic_sort_permutation(columns));
 }
 
 nnz_t CooTensor::coalesce() {

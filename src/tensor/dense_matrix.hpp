@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "tensor/types.hpp"
+#include "util/aligned.hpp"
 #include "util/random.hpp"
 
 namespace amped {
@@ -55,7 +56,9 @@ class DenseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<value_t> data_;
+  // Cache-line aligned: EC-kernel gathers read whole rows, and a rank-16
+  // row is one line instead of two when the base is aligned.
+  std::vector<value_t, util::AlignedAllocator<value_t>> data_;
 };
 
 // The set of factor matrices of a CPD model: one I_d x R matrix per mode.

@@ -1,0 +1,47 @@
+// Cache-line-aligned allocator for hot numeric arrays.
+//
+// Factor-matrix rows are gathered at random by the EC kernel; a rank-16
+// float row is exactly one 64-byte cache line *if* the matrix base is
+// line-aligned, and two lines otherwise — a straight doubling of gather
+// traffic. std::vector's default allocator only guarantees
+// alignof(std::max_align_t) (16 on x86-64), so DenseMatrix opts into this
+// allocator instead.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace amped::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T));
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace amped::util

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/thread_pool.hpp"
+
 namespace amped {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -51,6 +53,13 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void apply_common_flags(const CliArgs& args) {
+  const std::int64_t threads = args.get_int("threads", 0);
+  if (threads > 0) {
+    set_host_parallelism(static_cast<std::size_t>(threads));
+  }
 }
 
 }  // namespace amped

@@ -33,4 +33,9 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+// Applies the flags every binary understands: `--threads N` overrides the
+// host thread pool size (same effect as the AMPED_THREADS environment
+// variable; the flag wins when both are given).
+void apply_common_flags(const CliArgs& args);
+
 }  // namespace amped

@@ -1,0 +1,88 @@
+#include "util/radix_sort.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+namespace amped::util {
+
+unsigned bits_for_bound(index_t bound) {
+  unsigned b = 1;
+  while ((std::uint64_t{1} << b) < bound) ++b;
+  return b;
+}
+
+std::vector<nnz_t> radix_sort_permutation(std::span<const std::uint64_t> keys,
+                                          unsigned key_bits) {
+  const nnz_t n = keys.size();
+  std::vector<nnz_t> perm(n);
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  if (n <= 1) return perm;
+  assert(key_bits <= 64);
+
+  // Ping-pong (key, index) record pairs so each pass reads and writes
+  // sequentially; scattering whole records beats re-gathering keys
+  // through the permutation every pass.
+  std::vector<std::uint64_t> k(keys.begin(), keys.end());
+  std::vector<std::uint64_t> k2(n);
+  std::vector<nnz_t> perm2(n);
+
+  constexpr unsigned kDigitBits = 8;
+  constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+  for (unsigned shift = 0; shift < key_bits; shift += kDigitBits) {
+    std::array<nnz_t, kBuckets> count{};
+    for (nnz_t i = 0; i < n; ++i) ++count[(k[i] >> shift) & (kBuckets - 1)];
+    // A pass where every key shares the digit is the common case for the
+    // top passes of narrow keys; it would be a pure copy, so skip it.
+    if (count[(k[0] >> shift) & (kBuckets - 1)] == n) continue;
+    nnz_t offset = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const nnz_t c = count[b];
+      count[b] = offset;
+      offset += c;
+    }
+    for (nnz_t i = 0; i < n; ++i) {
+      const nnz_t dst = count[(k[i] >> shift) & (kBuckets - 1)]++;
+      k2[dst] = k[i];
+      perm2[dst] = perm[i];
+    }
+    k.swap(k2);
+    perm.swap(perm2);
+  }
+  return perm;
+}
+
+std::vector<nnz_t> lexicographic_sort_permutation(
+    std::span<const SortKeyColumn> columns) {
+  nnz_t n = columns.empty() ? 0 : columns[0].keys.size();
+  unsigned total_bits = 0;
+  for (const auto& col : columns) {
+    assert(col.keys.size() == n);
+    total_bits += bits_for_bound(col.bound);
+  }
+
+  if (total_bits <= 64) {
+    std::vector<std::uint64_t> packed(n, 0);
+    for (const auto& col : columns) {
+      const unsigned bits = bits_for_bound(col.bound);
+      for (nnz_t i = 0; i < n; ++i) {
+        packed[i] = (packed[i] << bits) | col.keys[i];
+      }
+    }
+    return radix_sort_permutation(packed, total_bits);
+  }
+
+  // Keys wider than 64 bits: comparison sort, same ordering.
+  std::vector<nnz_t> perm(n);
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (const auto& col : columns) {
+      if (col.keys[a] != col.keys[b]) return col.keys[a] < col.keys[b];
+    }
+    return false;
+  });
+  return perm;
+}
+
+}  // namespace amped::util

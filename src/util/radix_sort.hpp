@@ -1,0 +1,47 @@
+// LSD radix sort for the preprocessing hot path.
+//
+// Every execution format build starts by sorting nonzeros under some
+// lexicographic key (mode-major order, block-major order, linearised
+// order). Comparison sorts pay a multi-array gather per comparison —
+// O(n log n) cache-hostile loads. When the concatenated key fits in 64
+// bits the order is equivalent to an integer sort of packed keys, which an
+// LSD radix sort finishes in ceil(bits/8) streaming passes. This lives in
+// util/ (not formats/) because CooTensor::sort_by_mode needs it too and
+// tensor/ must not depend on formats/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/types.hpp"
+
+namespace amped::util {
+
+// One lexicographic key component: `keys[i]` is element i's value for this
+// component, all values < `bound`. Components are given most significant
+// first.
+struct SortKeyColumn {
+  std::span<const index_t> keys;
+  index_t bound = 0;
+};
+
+// Bits needed to store values in [0, bound); at least 1.
+unsigned bits_for_bound(index_t bound);
+
+// Stable LSD radix sort of `keys` (only the low `key_bits` bits are
+// significant). Returns the sorting permutation: element i of the sorted
+// order is input element perm[i]. Ties keep input order.
+std::vector<nnz_t> radix_sort_permutation(std::span<const std::uint64_t> keys,
+                                          unsigned key_bits);
+
+// Permutation sorting elements lexicographically by `columns` (first
+// column most significant). Packs the columns into 64-bit keys and radix
+// sorts when the total bit width allows; otherwise falls back to a
+// comparison sort with the same ordering. The radix path is stable; the
+// fallback breaks full-key ties arbitrarily (callers that need full
+// determinism must make keys unique, as all format builds do).
+std::vector<nnz_t> lexicographic_sort_permutation(
+    std::span<const SortKeyColumn> columns);
+
+}  // namespace amped::util

@@ -1,8 +1,40 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 
 namespace amped {
+
+namespace {
+
+// True on threads currently executing a pool task; parallel_for uses it to
+// run nested loops inline instead of deadlocking on wait_idle.
+thread_local bool t_in_pool_worker = false;
+
+std::size_t env_thread_count() {
+  const char* env = std::getenv("AMPED_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
+}
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::size_t& parallelism_override() {
+  static std::size_t n = 0;
+  return n;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -39,6 +71,12 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (t_in_pool_worker || workers_.size() == 1) {
+    // Nested call from a worker (or a 1-thread pool): distributing would
+    // add queue traffic with no extra concurrency — run inline.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // Chunk so that each worker gets a contiguous range; avoids per-index
   // queue traffic for large n.
   const std::size_t chunks = std::min(n, workers_.size() * 4);
@@ -55,6 +93,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   while (true) {
     std::function<void()> task;
     {
@@ -72,6 +111,38 @@ void ThreadPool::worker_loop() {
       if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
   }
+}
+
+namespace {
+
+// Caller must hold global_pool_mutex().
+std::size_t resolved_parallelism_locked() {
+  if (parallelism_override() > 0) return parallelism_override();
+  const std::size_t env = env_thread_count();
+  if (env > 0) return env;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool& global_thread_pool() {
+  std::lock_guard lock(global_pool_mutex());
+  auto& pool = global_pool_slot();
+  if (!pool) {
+    pool = std::make_unique<ThreadPool>(resolved_parallelism_locked());
+  }
+  return *pool;
+}
+
+std::size_t host_parallelism() {
+  std::lock_guard lock(global_pool_mutex());
+  return resolved_parallelism_locked();
+}
+
+void set_host_parallelism(std::size_t num_threads) {
+  std::lock_guard lock(global_pool_mutex());
+  parallelism_override() = num_threads;
+  global_pool_slot().reset();  // rebuilt at the new size on next use
 }
 
 }  // namespace amped

@@ -5,6 +5,11 @@
 // host the pool degrades gracefully to near-serial execution; all *timing*
 // results come from the simulator's cost model, never from wall clock, so
 // correctness of results does not depend on the core count.
+//
+// The process-wide pool behind global_thread_pool() is what the execution
+// engine dispatches on (per-GPU shard loops, per-mode format builds). Its
+// size resolves, in priority order: set_host_parallelism() override →
+// AMPED_THREADS environment variable → hardware concurrency.
 #pragma once
 
 #include <condition_variable>
@@ -34,6 +39,9 @@ class ThreadPool {
   void wait_idle();
 
   // Run fn(i) for i in [0, n), distributing across the pool, and wait.
+  // Calling from inside a pool task runs the loop inline on the calling
+  // worker (a nested distribution would deadlock wait_idle against the
+  // caller's own in-flight task).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -47,5 +55,19 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
+
+// The shared pool host-parallel sections dispatch on; constructed on first
+// use with host_parallelism() workers.
+ThreadPool& global_thread_pool();
+
+// Worker count the global pool will use (override → AMPED_THREADS → cores).
+// A value of 1 makes every host-parallel section run serially.
+std::size_t host_parallelism();
+
+// Overrides the global pool size (0 = back to AMPED_THREADS / hardware
+// default), tearing down any existing idle pool so the next use rebuilds
+// at the new size. Call at startup or between runs — not concurrently with
+// work executing on the pool.
+void set_host_parallelism(std::size_t num_threads);
 
 }  // namespace amped

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "formats/sorting.hpp"
+#include "tensor/generator.hpp"
+#include "util/radix_sort.hpp"
+
+namespace amped {
+namespace {
+
+using formats::lexicographic_permutation;
+using formats::sort_lexicographic;
+
+std::vector<std::size_t> identity_order(std::size_t modes) {
+  std::vector<std::size_t> order(modes);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+// The pre-radix implementation: comparison sort with per-comparison
+// coordinate gathers. Ground truth for the equivalence property.
+std::vector<nnz_t> comparison_permutation(
+    const CooTensor& t, std::span<const std::size_t> mode_order) {
+  std::vector<nnz_t> perm(t.nnz());
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (std::size_t m : mode_order) {
+      const auto idx = t.indices(m);
+      if (idx[a] != idx[b]) return idx[a] < idx[b];
+    }
+    return false;
+  });
+  return perm;
+}
+
+std::vector<index_t> coords_at(const CooTensor& t, nnz_t e,
+                               std::span<const std::size_t> mode_order) {
+  std::vector<index_t> c;
+  c.reserve(mode_order.size());
+  for (std::size_t m : mode_order) c.push_back(t.indices(m)[e]);
+  return c;
+}
+
+bool is_permutation_of_iota(std::span<const nnz_t> perm) {
+  std::vector<nnz_t> sorted(perm.begin(), perm.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (nnz_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+struct SortCase {
+  std::vector<index_t> dims;
+  nnz_t nnz;
+  std::uint64_t seed;
+};
+
+// Shapes chosen to cover the packed-key radix path (small totals), the
+// exact 64-bit boundary (4 x 16-bit modes), and the >64-bit comparison
+// fallback (7 x 10-bit modes = 70 bits).
+const SortCase kCases[] = {
+    {{16, 16}, 300, 1},
+    {{1u << 12, 1u << 9, 1u << 11}, 5000, 2},
+    {{65536, 65536, 65536, 65536}, 4000, 3},
+    {{1024, 1024, 1024, 1024, 1024, 1024, 1024}, 3000, 4},
+    {{3, 2, 5}, 64, 5},  // heavy duplication: many full-key ties
+};
+
+class SortEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortEquivalence, RadixMatchesComparisonSortUpToTies) {
+  const SortCase& c = kCases[GetParam()];
+  GeneratorOptions gen;
+  gen.dims = c.dims;
+  gen.nnz = c.nnz;
+  gen.zipf_exponents.assign(c.dims.size(), 0.7);
+  gen.seed = c.seed;
+  const auto t = generate_random(gen);
+
+  // Exercise a non-trivial mode order too (reversed).
+  for (const bool reversed : {false, true}) {
+    auto order = identity_order(t.num_modes());
+    if (reversed) std::reverse(order.begin(), order.end());
+
+    const auto radix = lexicographic_permutation(t, order);
+    const auto reference = comparison_permutation(t, order);
+    ASSERT_TRUE(is_permutation_of_iota(radix));
+
+    // Equal up to tie order: position by position, the *keys* must match
+    // even where the permutations pick different elements of a tie group.
+    ASSERT_EQ(radix.size(), reference.size());
+    for (nnz_t i = 0; i < radix.size(); ++i) {
+      EXPECT_EQ(coords_at(t, radix[i], order),
+                coords_at(t, reference[i], order))
+          << "case " << GetParam() << " reversed=" << reversed
+          << " position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, SortEquivalence,
+                         ::testing::Range(std::size_t{0},
+                                          std::size_t{std::size(kCases)}));
+
+TEST(SortingTest, ApplyPermutationRoundTrips) {
+  for (const SortCase& c : kCases) {
+    GeneratorOptions gen;
+    gen.dims = c.dims;
+    gen.nnz = c.nnz;
+    gen.zipf_exponents.assign(c.dims.size(), 0.5);
+    gen.seed = c.seed + 100;
+    const auto original = generate_random(gen);
+    auto t = original;
+
+    const auto order = identity_order(t.num_modes());
+    sort_lexicographic(t, order);
+
+    // Sorted order holds...
+    for (nnz_t i = 1; i < t.nnz(); ++i) {
+      EXPECT_LE(coords_at(t, i - 1, order), coords_at(t, i, order));
+    }
+    // ...and the (coords, value) multiset survived the gather untouched.
+    auto census = [&](const CooTensor& x) {
+      std::map<std::pair<std::vector<index_t>, value_t>, int> m;
+      for (nnz_t i = 0; i < x.nnz(); ++i) {
+        ++m[{coords_at(x, i, order), x.values()[i]}];
+      }
+      return m;
+    };
+    EXPECT_EQ(census(original), census(t));
+  }
+}
+
+TEST(RadixSortTest, StableOnEqualKeys) {
+  const std::vector<std::uint64_t> keys = {5, 3, 5, 3, 5, 0, 3};
+  const auto perm = util::radix_sort_permutation(keys, 3);
+  // Equal keys keep input order (LSD radix is stable end to end).
+  const std::vector<nnz_t> expected = {5, 1, 3, 6, 0, 2, 4};
+  EXPECT_EQ(perm, expected);
+}
+
+TEST(RadixSortTest, MatchesStableSortOnWideKeys) {
+  Rng rng(42);
+  std::vector<std::uint64_t> keys(4096);
+  for (auto& k : keys) {
+    k = rng.next_u64() >> 4;  // 60 significant bits
+  }
+  const auto perm = util::radix_sort_permutation(keys, 60);
+  std::vector<nnz_t> expected(keys.size());
+  std::iota(expected.begin(), expected.end(), nnz_t{0});
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&](nnz_t a, nnz_t b) { return keys[a] < keys[b]; });
+  EXPECT_EQ(perm, expected);
+}
+
+TEST(RadixSortTest, EmptyAndSingle) {
+  EXPECT_TRUE(util::radix_sort_permutation({}, 8).empty());
+  const std::vector<std::uint64_t> one = {7};
+  EXPECT_EQ(util::radix_sort_permutation(one, 8),
+            std::vector<nnz_t>{0});
+}
+
+}  // namespace
+}  // namespace amped
