@@ -12,15 +12,22 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
+#include <filesystem>
 #include <numeric>
+#include <sstream>
 #include <unordered_map>
 
 #include "core/amped_tensor.hpp"
 #include "core/ec_kernel.hpp"
 #include "core/mttkrp.hpp"
 #include "formats/sorting.hpp"
+#include "io/mapped_tensor.hpp"
+#include "io/snapshot.hpp"
+#include "io/tns_ingest.hpp"
 #include "sim/platform.hpp"
 #include "tensor/generator.hpp"
+#include "tensor/tns_io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -216,6 +223,112 @@ void bm_sort_by_mode(benchmark::State& state) {
                           static_cast<std::int64_t>(t.nnz()));
 }
 BENCHMARK(bm_sort_by_mode)->Name("sort/by_mode_with_apply")
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Storage engine: text ingest and snapshot reload (nnz/s series tracked
+// PR over PR alongside the kernel numbers; the ISSUE-3 targets are
+// ingest/parallel >= 3x ingest/serial and snapshot reload >= 10x text
+// parse on the same tensor).
+
+const CooTensor& io_tensor() {
+  static const CooTensor t = [] {
+    GeneratorOptions gen;
+    gen.dims = {1u << 15, 1u << 12, 1u << 13};
+    gen.nnz = 1u << 19;
+    gen.zipf_exponents = {1.0, 0.0, 0.5};
+    gen.seed = 23;
+    return generate_random(gen);
+  }();
+  return t;
+}
+
+const std::string& io_tns_text() {
+  static const std::string text = [] {
+    std::ostringstream out;
+    write_tns(io_tensor(), out);
+    return out.str();
+  }();
+  return text;
+}
+
+// Snapshot written once to the temp dir and cleaned at process exit.
+const std::string& io_snapshot_path() {
+  static const std::string path = [] {
+    auto p = (std::filesystem::temp_directory_path() /
+              "amped_bench_host_throughput.amptns").string();
+    io::write_snapshot_file(io_tensor(), p);
+    static struct Cleanup {
+      std::string path;
+      ~Cleanup() { std::remove(path.c_str()); }
+    } cleanup{p};
+    return p;
+  }();
+  return path;
+}
+
+void bm_tns_ingest_serial(benchmark::State& state) {
+  const auto& text = io_tns_text();
+  for (auto _ : state) {
+    std::istringstream in(text);
+    auto t = read_tns(in);
+    benchmark::DoNotOptimize(t.nnz());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(io_tensor().nnz()));
+}
+BENCHMARK(bm_tns_ingest_serial)->Name("io/tns_ingest_serial")
+    ->Unit(benchmark::kMillisecond);
+
+void bm_tns_ingest_parallel(benchmark::State& state) {
+  const auto& text = io_tns_text();
+  for (auto _ : state) {
+    auto t = io::read_tns_text(text);
+    benchmark::DoNotOptimize(t.nnz());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(io_tensor().nnz()));
+}
+BENCHMARK(bm_tns_ingest_parallel)->Name("io/tns_ingest_parallel")
+    ->Unit(benchmark::kMillisecond);
+
+void bm_snapshot_write(benchmark::State& state) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "amped_bench_snapshot_write.amptns").string();
+  for (auto _ : state) {
+    io::write_snapshot_file(io_tensor(), path);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(io_tensor().nnz()));
+}
+BENCHMARK(bm_snapshot_write)->Name("io/snapshot_write")
+    ->Unit(benchmark::kMillisecond);
+
+// Owned reload: checksum-verified read into resident vectors.
+void bm_snapshot_reload(benchmark::State& state) {
+  const auto& path = io_snapshot_path();
+  for (auto _ : state) {
+    auto t = io::read_snapshot_file(path);
+    benchmark::DoNotOptimize(t.nnz());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(io_tensor().nnz()));
+}
+BENCHMARK(bm_snapshot_reload)->Name("io/snapshot_reload")
+    ->Unit(benchmark::kMillisecond);
+
+// Zero-copy reload: mmap + checksum sweep, no materialisation.
+void bm_snapshot_reload_mmap(benchmark::State& state) {
+  const auto& path = io_snapshot_path();
+  for (auto _ : state) {
+    io::MappedCooTensor mapped(path);
+    benchmark::DoNotOptimize(mapped.values().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(io_tensor().nnz()));
+}
+BENCHMARK(bm_snapshot_reload_mmap)->Name("io/snapshot_reload_mmap")
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

@@ -1,19 +1,49 @@
-// End-to-end CLI driver: decompose a FROSTT `.tns` file (or a freshly
-// generated demo tensor) on the simulated multi-GPU platform, then save
-// the model for downstream use.
+// End-to-end CLI driver: decompose a FROSTT `.tns` file, a binary
+// `.amptns` snapshot, or a freshly generated demo tensor on the simulated
+// multi-GPU platform, then save the model for downstream use.
 //
 //   ./decompose_file --input my_tensor.tns --rank 16 --gpus 4 --output model.ampfac
+//
+// Storage-engine flags:
+//   --write-snapshot out.amptns   convert the input to a v2 snapshot
+//                                 (later runs mmap it: no parse, no copy)
+//   --memory-budget 512M          cap tracked host memory; AMPED copies
+//                                 spill to disk and stream back
 //
 // Without --input, a small demo tensor is generated and written next to
 // the model so the whole I/O path is exercised.
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include "core/cpd.hpp"
+#include "io/mapped_tensor.hpp"
+#include "io/memory_budget.hpp"
+#include "io/snapshot.hpp"
 #include "tensor/factor_io.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/tns_io.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+// 2 for a v2 snapshot (mmap-able), 1 for v1 (owned read), 0 for text.
+int snapshot_version(const std::string& path) {
+  // Only regular files can be probed (and mmapped): reading magic bytes
+  // from a FIFO would consume them before the real parse.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) return 0;
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in) return 0;
+  if (std::memcmp(magic, amped::io::kSnapshotMagicV2, 8) == 0) return 2;
+  if (std::memcmp(magic, amped::io::kSnapshotMagicV1, 8) == 0) return 1;
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace amped;
@@ -24,39 +54,88 @@ int main(int argc, char** argv) {
   const auto iters = static_cast<std::size_t>(args.get_int("iters", 15));
   const std::string output = args.get("output", "model.ampfac");
 
+  // The tensor arrives as either an owned CooTensor (text input or
+  // generated demo) or a zero-copy mapped snapshot.
   CooTensor coo;
-  if (args.has("input")) {
-    const std::string input = args.get("input", "");
-    std::printf("reading %s ...\n", input.c_str());
-    try {
-      coo = read_tns_file(input);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
+  io::MappedCooTensor mapped;
+  bool use_mapped = false;
+  try {
+    if (args.has("input")) {
+      const std::string input = args.get("input", "");
+      switch (snapshot_version(input)) {
+        case 2:
+          std::printf("mapping snapshot %s (zero-copy) ...\n",
+                      input.c_str());
+          mapped = io::MappedCooTensor(input);
+          use_mapped = true;
+          break;
+        case 1:
+          std::printf("reading v1 snapshot %s ...\n", input.c_str());
+          coo = read_binary_file(input);
+          break;
+        default:
+          std::printf("reading %s (parallel ingest) ...\n", input.c_str());
+          coo = read_tns_file(input);
+      }
+    } else {
+      std::printf("no --input given; generating a demo tensor "
+                  "(demo_tensor.tns)\n");
+      GeneratorOptions gen;
+      gen.dims = {600, 400, 200};
+      gen.nnz = 60000;
+      gen.zipf_exponents = {0.7, 0.7, 0.5};
+      gen.seed = 2026;
+      coo = generate_random(gen);
+      write_tns_file(coo, "demo_tensor.tns");
     }
-  } else {
-    std::printf("no --input given; generating a demo tensor "
-                "(demo_tensor.tns)\n");
-    GeneratorOptions gen;
-    gen.dims = {600, 400, 200};
-    gen.nnz = 60000;
-    gen.zipf_exponents = {0.7, 0.7, 0.5};
-    gen.seed = 2026;
-    coo = generate_random(gen);
-    write_tns_file(coo, "demo_tensor.tns");
+
+    if (args.has("write-snapshot")) {
+      const std::string snap = args.get("write-snapshot", "");
+      if (use_mapped) {
+        io::write_snapshot_file(mapped.materialize(), snap);
+      } else {
+        io::write_snapshot_file(coo, snap);  // no copy of the owned tensor
+      }
+      std::printf("snapshot written to %s (%s); pass it as --input to "
+                  "reload without parsing\n",
+                  snap.c_str(),
+                  io::format_bytes(std::filesystem::file_size(snap))
+                      .c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  std::printf("tensor: %s\n", coo.shape_string().c_str());
-  if (!coo.indices_in_bounds()) {
+
+  const std::string shape =
+      use_mapped ? mapped.shape_string() : coo.shape_string();
+  std::printf("tensor: %s\n", shape.c_str());
+  if (use_mapped ? !mapped.indices_in_bounds() : !coo.indices_in_bounds()) {
     std::fprintf(stderr, "error: tensor indices out of bounds\n");
     return 1;
+  }
+
+  auto& budget = io::HostMemoryBudget::global();
+  if (budget.limit() != 0) {
+    std::printf("memory budget: %s\n",
+                io::format_bytes(budget.limit()).c_str());
   }
 
   AmpedBuildOptions build;
   build.num_gpus = gpus;
   PreprocessStats prep;
-  const AmpedTensor tensor = AmpedTensor::build(coo, build, &prep);
-  std::printf("preprocessed %zu modes in %.2fs wall\n", tensor.num_modes(),
-              prep.wall_seconds);
+  AmpedTensor tensor;
+  try {
+    tensor = use_mapped ? AmpedTensor::build(mapped, build, &prep)
+                        : AmpedTensor::build(coo, build, &prep);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("preprocessed %zu modes in %.2fs wall; copies %s (%s)\n",
+              tensor.num_modes(), prep.wall_seconds,
+              prep.spilled ? "spilled to disk" : "resident in host memory",
+              io::format_bytes(tensor.total_bytes()).c_str());
 
   auto platform = sim::make_default_platform(gpus);
   CpdOptions opt;
@@ -67,6 +146,11 @@ int main(int argc, char** argv) {
               "%.4f s on %d GPU%s)\n",
               rank, result.fit, result.iterations,
               result.mttkrp_sim_seconds, gpus, gpus == 1 ? "" : "s");
+  if (budget.limit() != 0) {
+    std::printf("tracked host memory peak: %s of %s budget\n",
+                io::format_bytes(budget.peak()).c_str(),
+                io::format_bytes(budget.limit()).c_str());
+  }
 
   CpdModel model;
   model.lambda = result.lambda;

@@ -1,10 +1,15 @@
-// Billion-scale walkthrough: why multi-GPU MTTKRP needs AMPED.
+// Billion-scale walkthrough: why multi-GPU MTTKRP needs AMPED — and what
+// AMPED itself needs from the host.
 //
 // For each Table 3 tensor, prints the full-scale memory footprint every
 // execution format would need on a 48 GB RTX 6000 Ada (the paper's
-// "runtime error" analysis), then races AMPED on 4 simulated GPUs against
-// the only baseline that can always run — BLCO's out-of-memory streaming —
-// and shows AMPED's timing breakdown.
+// "runtime error" analysis) *and* the host-side footprint of AMPED's N
+// sorted copies (§4.4's residency requirement), then races AMPED on 4
+// simulated GPUs against the only baseline that can always run — BLCO's
+// out-of-memory streaming — and shows AMPED's timing breakdown. A final
+// section demonstrates the storage engine's answer to hosts that cannot
+// hold the copies either: a constrained `--memory-budget`-style run that
+// spills copies to disk and streams shards back, bit-identically.
 //
 //   ./out_of_memory [--scale 2000] [--dataset reddit|all]
 //
@@ -12,12 +17,15 @@
 // extrapolated ratios are scale-invariant (see scaling_property_test);
 // much coarser scales under-occupy the simulated SMs and distort the
 // race.
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "baselines/runner.hpp"
+#include "core/mttkrp.hpp"
 #include "formats/memory_model.hpp"
+#include "io/memory_budget.hpp"
 #include "tensor/generator.hpp"
 #include "util/cli.hpp"
 
@@ -59,6 +67,14 @@ void print_footprints(const DatasetProfile& p, std::uint64_t capacity) {
     }
     std::printf("  %-24s %9.1f GiB  %s\n", r.name, gib, verdict);
   }
+  // AMPED dodges the GPU wall by keeping the copies on the *host* (§4.4)
+  // — which moves the residency requirement, not removes it.
+  const std::uint64_t host_bytes =
+      p.num_modes() * formats::coo_bytes(dims, p.full_nnz);
+  std::printf("  AMPED host residency: %zu sorted copies = %s of host RAM"
+              " (over budget? spill to disk, see below)\n",
+              p.num_modes(),
+              io::format_bytes(host_bytes).c_str());
 }
 
 void race(const ScaledDataset& ds, double scale) {
@@ -95,6 +111,72 @@ void race(const ScaledDataset& ds, double scale) {
               100 * t.total(sim::Phase::kSync) / busy);
 }
 
+// The storage engine's budgeted mode at work: constrain the host budget
+// below the N-copy footprint, rebuild (copies spill to snapshot-v2 files
+// and shards stream back from disk during MTTKRP), and verify the output
+// is bit-identical to the resident run.
+void budget_demo(const ScaledDataset& ds) {
+  auto factors = [&] {
+    Rng rng(5);
+    return FactorSet(ds.tensor.dims(), 32, rng);
+  }();
+  MttkrpOptions options;
+
+  AmpedBuildOptions build;
+  build.num_gpus = 4;
+  // The demo drives the budget itself: park any user-set limit and
+  // restore it afterwards, so a `--memory-budget` on the command line
+  // neither aborts the unconstrained reference build nor gets clobbered.
+  auto& budget = io::HostMemoryBudget::global();
+  const std::uint64_t prior_limit = budget.limit();
+  budget.set_limit(0);
+
+  // Scoped so the resident copies (and their budget charge) are gone
+  // before the constrained rebuild.
+  std::vector<DenseMatrix> out_resident;
+  std::uint64_t footprint = 0;
+  {
+    const auto resident = AmpedTensor::build(ds.tensor, build);
+    footprint = resident.total_bytes();
+    auto p_resident = sim::make_default_platform(4);
+    mttkrp_all_modes(p_resident, resident, factors, out_resident, options);
+  }
+
+  const std::uint64_t limit = footprint / 2;  // cannot hold the copies
+  budget.set_limit(limit);
+  budget.reset_peak();
+  PreprocessStats prep;
+  const auto spilled = AmpedTensor::build(ds.tensor, build, &prep);
+  auto p_spilled = sim::make_default_platform(4);
+  std::vector<DenseMatrix> out_spilled;
+  mttkrp_all_modes(p_spilled, spilled, factors, out_spilled, options);
+  const std::uint64_t peak = budget.peak();
+  budget.set_limit(prior_limit);
+
+  double max_diff = 0.0;
+  for (std::size_t d = 0; d < out_resident.size(); ++d) {
+    const auto a = out_resident[d].data();
+    const auto b = out_spilled[d].data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::abs(static_cast<double>(a[i]) - b[i]));
+    }
+  }
+
+  std::printf("\n=== budgeted mode (scaled %s) ===\n", ds.profile.name.c_str());
+  std::printf("  resident footprint %s; budget %s -> copies %s\n",
+              io::format_bytes(footprint).c_str(),
+              io::format_bytes(limit).c_str(),
+              prep.spilled ? "spilled to disk" : "kept resident (?)");
+  std::printf("  tracked host peak under budget: %s (%.0f%% of limit)\n",
+              io::format_bytes(peak).c_str(),
+              100.0 * static_cast<double>(peak) /
+                  static_cast<double>(limit));
+  std::printf("  MTTKRP outputs vs resident run: max |diff| = %g -> %s\n",
+              max_diff,
+              max_diff == 0.0 ? "bit-identical" : "MISMATCH");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,8 +199,12 @@ int main(int argc, char** argv) {
     print_footprints(p, capacity);
     race(generate_scaled(p, scale), scale);
   }
+  // Demonstrate the disk tier once, on the first profile's scaled tensor.
+  budget_demo(generate_scaled(profiles.front(), scale));
   std::printf("\nEvery resident format hits the 48 GB wall somewhere; "
               "AMPED streams sharded copies and scales across GPUs "
-              "instead.\n");
+              "instead — and when even the host cannot hold the copies, "
+              "the storage engine spills them to disk and streams shards "
+              "back, bit-identically.\n");
   return 0;
 }

@@ -4,6 +4,11 @@
 #include <cmath>
 #include <exception>
 
+#include "core/cpd.hpp"  // tensor_norm_sq
+#include "io/mapped_tensor.hpp"
+#include "io/memory_budget.hpp"
+#include "io/shard_stream.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -15,6 +20,12 @@ namespace {
 // a few hundred million keys/s at this scale; the log(nnz) depth is folded
 // in by the caller.
 constexpr double kHostSortKeysPerSec = 3.2e9;
+
+// Owned copy of either input kind, the starting point of every mode copy.
+CooTensor materialize_input(const CooTensor& input) { return input; }
+CooTensor materialize_input(const io::MappedCooTensor& input) {
+  return input.materialize();
+}
 }  // namespace
 
 double model_amped_preprocess_seconds(nnz_t nnz, std::size_t modes,
@@ -30,39 +41,85 @@ double model_amped_preprocess_seconds(nnz_t nnz, std::size_t modes,
   return static_cast<double>(modes) * n * depth / host_sort_keys_per_sec;
 }
 
-AmpedTensor AmpedTensor::build(const CooTensor& input,
-                               const AmpedBuildOptions& options,
-                               PreprocessStats* stats) {
+template <typename Input>
+AmpedTensor AmpedTensor::build_impl(const Input& input,
+                                    const AmpedBuildOptions& options,
+                                    PreprocessStats* stats) {
   assert(options.num_gpus >= 1 && options.shards_per_gpu >= 1);
   WallTimer timer;
 
   AmpedTensor out;
   out.dims_ = input.dims();
   out.nnz_ = input.nnz();
-  out.copies_.reserve(input.num_modes());
+  out.copies_.resize(input.num_modes());
 
   const std::size_t shards =
       options.shards_per_gpu * static_cast<std::size_t>(options.num_gpus);
-  // Per-mode copy builds are independent (each deep-copies the read-only
-  // input, sorts it, and writes its own slot), so they spread across the
-  // host thread pool. Slot order makes the result independent of
-  // completion order.
-  out.copies_.resize(input.num_modes());
-  std::vector<std::exception_ptr> errors(input.num_modes());
-  global_thread_pool().parallel_for(
-      input.num_modes(), [&](std::size_t d) {
-        try {
-          ModeCopy copy;
-          copy.tensor = input;  // deep copy, then reorder for this mode
-          copy.tensor.sort_by_mode(d);
-          copy.partition = build_mode_partition(copy.tensor, d, shards);
-          out.copies_[d] = std::move(copy);
-        } catch (...) {
-          errors[d] = std::current_exception();
-        }
-      });
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  const std::uint64_t copy_bytes = input.storage_bytes();
+  const std::uint64_t footprint =
+      copy_bytes * static_cast<std::uint64_t>(input.num_modes());
+
+  auto& budget = io::HostMemoryBudget::global();
+  bool spill = options.storage == BuildStorage::kSpilled;
+  if (options.storage == BuildStorage::kAuto && budget.limit() != 0 &&
+      footprint > budget.remaining()) {
+    spill = true;
+    AMPED_LOG_INFO << "amped build: " << input.num_modes() << " copies ("
+                   << io::format_bytes(footprint)
+                   << ") exceed the host memory budget ("
+                   << io::format_bytes(budget.remaining())
+                   << " available); spilling mode copies to disk";
+  }
+
+  if (!spill) {
+    // Resident build: charge the full footprint up front (this is what
+    // "host residency" costs), then build per-mode copies in parallel.
+    // Per-mode copy builds are independent (each deep-copies the
+    // read-only input, sorts it, and writes its own slot), so they
+    // spread across the host thread pool. Slot order makes the result
+    // independent of completion order.
+    out.reservation_ = std::make_shared<io::BudgetReservation>(
+        budget, footprint, "AmpedTensor resident mode copies");
+    std::vector<std::exception_ptr> errors(input.num_modes());
+    global_thread_pool().parallel_for(
+        input.num_modes(), [&](std::size_t d) {
+          try {
+            ModeCopy copy;
+            copy.tensor = materialize_input(input);
+            copy.tensor.sort_by_mode(d);
+            copy.partition = build_mode_partition(copy.tensor, d, shards);
+            out.copies_[d] = std::move(copy);
+          } catch (...) {
+            errors[d] = std::current_exception();
+          }
+        });
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    if (!out.copies_.empty()) {
+      out.values_norm_sq_ = tensor_norm_sq(out.copies_[0].tensor);
+    }
+  } else {
+    // Out-of-core build: one mode at a time, bounding tracked host usage
+    // at a single copy; each sorted copy is spilled to a snapshot-v2
+    // file and freed before the next mode starts. (Serial by design —
+    // parallel mode builds would multiply the transient footprint.)
+    const std::string dir = io::resolve_spill_dir(options.spill_dir);
+    for (std::size_t d = 0; d < input.num_modes(); ++d) {
+      io::BudgetReservation charge(budget, copy_bytes,
+                                   "AmpedTensor mode copy under build");
+      ModeCopy copy;
+      CooTensor sorted = materialize_input(input);
+      sorted.sort_by_mode(d);
+      copy.partition = build_mode_partition(sorted, d, shards);
+      if (d == 0) {
+        // Same accumulation order as the resident path (mode-0 sorted).
+        out.values_norm_sq_ = tensor_norm_sq(sorted);
+      }
+      copy.spill =
+          std::make_shared<io::SpilledModeCopy>(sorted, d, dir);
+      out.copies_[d] = std::move(copy);
+    }
   }
 
   if (stats) {
@@ -70,21 +127,38 @@ AmpedTensor AmpedTensor::build(const CooTensor& input,
     stats->host_seconds =
         model_amped_preprocess_seconds(input.nnz(), input.num_modes());
     stats->bytes_built = out.total_bytes();
+    stats->spilled = spill;
   }
   return out;
 }
 
+AmpedTensor AmpedTensor::build(const CooTensor& input,
+                               const AmpedBuildOptions& options,
+                               PreprocessStats* stats) {
+  return build_impl(input, options, stats);
+}
+
+AmpedTensor AmpedTensor::build(const io::MappedCooTensor& input,
+                               const AmpedBuildOptions& options,
+                               PreprocessStats* stats) {
+  return build_impl(input, options, stats);
+}
+
+bool AmpedTensor::spilled() const {
+  for (const auto& c : copies_) {
+    if (c.spilled()) return true;
+  }
+  return false;
+}
+
 std::uint64_t AmpedTensor::shard_bytes(std::size_t d,
                                        std::size_t shard_id) const {
-  const auto& copy = copies_[d];
-  const auto& shard = copy.partition.shards[shard_id];
-  return shard.nnz() * copy.tensor.bytes_per_nnz();
+  const auto& shard = copies_[d].partition.shards[shard_id];
+  return shard.nnz() * bytes_per_nnz();
 }
 
 std::uint64_t AmpedTensor::total_bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& c : copies_) total += c.tensor.storage_bytes();
-  return total;
+  return static_cast<std::uint64_t>(copies_.size()) * nnz_ * bytes_per_nnz();
 }
 
 }  // namespace amped

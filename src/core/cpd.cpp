@@ -71,7 +71,9 @@ CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
     grams[d] = linalg::gram(result.factors.factor(d));
   }
 
-  const double norm_x_sq = tensor_norm_sq(tensor.mode_copy(0).tensor);
+  // tensor_norm_sq over the mode-0 copy, accumulated at build time so it
+  // is available when the copies are spilled to disk.
+  const double norm_x_sq = tensor.values_norm_sq();
   double prev_fit = 0.0;
   DenseMatrix mttkrp_out;
 

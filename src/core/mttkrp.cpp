@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <exception>
+#include <memory>
+#include <numeric>
 #include <queue>
 
 #include "core/ec_kernel.hpp"
+#include "io/shard_stream.hpp"
 #include "sim/executor.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -46,14 +49,20 @@ struct ShardCost {
   double ec = 0.0;            // grid execution seconds (incl. launch)
 };
 
+// `view` backs the shard's elements: the resident mode copy itself, or a
+// stream buffer holding exactly this shard's range when the copy is
+// spilled. Either way element n of the sorted copy lives at view.data
+// index n - view.base, so both sources run the same arithmetic in the
+// same order (bit-identical outputs).
 ShardCost prepare_shard(sim::Platform& platform, int gpu,
                         const AmpedTensor::ModeCopy& copy, const Shard& shard,
+                        const io::ShardStreamer::View& view,
                         const FactorSet& factors, DenseMatrix& out,
                         const MttkrpOptions& options,
                         const sim::KernelProfile& profile) {
   const auto& device = platform.gpu(gpu);
   ShardCost cost;
-  cost.payload = shard.nnz() * copy.tensor.bytes_per_nnz();
+  cost.payload = shard.nnz() * view.data->bytes_per_nnz();
   cost.h2d = platform.h2d_seconds(cost.payload);
 
   const int sm_count = device.spec().sm_count;
@@ -65,12 +74,13 @@ ShardCost prepare_shard(sim::Platform& platform, int gpu,
                                    static_cast<nnz_t>(sm_count));
   }
 
+  const nnz_t shard_base = shard.nnz_begin - view.base;
   std::vector<double> block_seconds;
   for (auto [lo, hi] : split_isps(shard, isp_size)) {
     // Mode copies are output-sorted, so the sorted stats fast path holds.
-    auto stats = run_ec_block(copy.tensor, shard.nnz_begin + lo,
-                              shard.nnz_begin + hi, copy.partition.mode,
-                              factors, out, BlockOrder::kOutputSorted);
+    auto stats = run_ec_block(*view.data, shard_base + lo, shard_base + hi,
+                              copy.partition.mode, factors, out,
+                              BlockOrder::kOutputSorted);
     stats.block_width = static_cast<std::size_t>(options.block_width);
     block_seconds.push_back(
         platform.cost_model(gpu).ec_block_seconds(stats, profile));
@@ -80,16 +90,34 @@ ShardCost prepare_shard(sim::Platform& platform, int gpu,
   return cost;
 }
 
+// Builds the shard fetcher for one GPU's execution order: a pass-through
+// over the resident copy, or a double-buffered disk stream when the mode
+// copy is spilled.
+std::unique_ptr<io::ShardStreamer> make_streamer(
+    const AmpedTensor::ModeCopy& copy, std::span<const std::size_t> ids) {
+  if (!copy.spilled()) {
+    return std::make_unique<io::ShardStreamer>(copy.tensor);
+  }
+  std::vector<std::pair<nnz_t, nnz_t>> ranges;
+  ranges.reserve(ids.size());
+  for (std::size_t id : ids) {
+    const auto& shard = copy.partition.shards[id];
+    ranges.emplace_back(shard.nnz_begin, shard.nnz_end);
+  }
+  return std::make_unique<io::ShardStreamer>(*copy.spill, std::move(ranges));
+}
+
 // Executes one shard with sequential (non-overlapped) streaming: H2D of
 // the payload, then the grid. Returns the EC seconds charged.
 double execute_shard(sim::Platform& platform, int gpu,
                      const AmpedTensor::ModeCopy& copy, const Shard& shard,
+                     const io::ShardStreamer::View& view,
                      const FactorSet& factors, DenseMatrix& out,
                      const MttkrpOptions& options,
                      const sim::KernelProfile& profile) {
   auto& device = platform.gpu(gpu);
   const ShardCost cost =
-      prepare_shard(platform, gpu, copy, shard, factors, out, options,
+      prepare_shard(platform, gpu, copy, shard, view, factors, out, options,
                     profile);
   device.alloc(cost.payload);
   platform.h2d(gpu, cost.payload);
@@ -111,6 +139,7 @@ double execute_shard(sim::Platform& platform, int gpu,
 double execute_pipelined(sim::Platform& platform, int gpu,
                          const AmpedTensor::ModeCopy& copy,
                          std::span<const std::size_t> shard_ids,
+                         io::ShardStreamer& streamer,
                          const FactorSet& factors, DenseMatrix& out,
                          const MttkrpOptions& options,
                          const sim::KernelProfile& profile,
@@ -120,9 +149,10 @@ double execute_pipelined(sim::Platform& platform, int gpu,
   double copy_clock = start;
   double compute_clock = start;
   double ec_total = 0.0;
-  for (std::size_t id : shard_ids) {
-    const auto& shard = copy.partition.shards[id];
-    const ShardCost cost = prepare_shard(platform, gpu, copy, shard,
+  for (std::size_t pos = 0; pos < shard_ids.size(); ++pos) {
+    const auto& shard = copy.partition.shards[shard_ids[pos]];
+    const auto view = streamer.acquire(pos);
+    const ShardCost cost = prepare_shard(platform, gpu, copy, shard, view,
                                          factors, out, options, profile);
     const double landed = copy_clock + cost.h2d;
     copy_clock = landed;
@@ -177,11 +207,18 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
     using Entry = std::pair<double, int>;  // (clock, gpu)
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> idle;
     for (int g = 0; g < m; ++g) idle.push({platform.gpu(g).clock(), g});
-    for (const auto& shard : partition.shards) {
+    // One streamer over the whole dispatch order: shards leave the queue
+    // in index order regardless of which GPU takes them.
+    std::vector<std::size_t> all_ids(partition.shards.size());
+    std::iota(all_ids.begin(), all_ids.end(), std::size_t{0});
+    auto streamer = make_streamer(copy, all_ids);
+    for (std::size_t s = 0; s < partition.shards.size(); ++s) {
+      const auto& shard = partition.shards[s];
       auto [clock, g] = idle.top();
       idle.pop();
-      const double ec = execute_shard(platform, g, copy, shard, factors, out,
-                                      options, profile);
+      const double ec =
+          execute_shard(platform, g, copy, shard, streamer->acquire(s),
+                        factors, out, options, profile);
       bd.per_gpu_compute[static_cast<std::size_t>(g)] += ec;
       owned_rows[static_cast<std::size_t>(g)] += shard.index_count();
       idle.push({platform.gpu(g).clock(), g});
@@ -194,7 +231,7 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
       // plus executing it at the device's bandwidth. Weighting by device
       // bandwidth alone overloads fast GPUs whenever H2D dominates.
       const double bytes_per_elem =
-          static_cast<double>(copy.tensor.bytes_per_nnz());
+          static_cast<double>(tensor.bytes_per_nnz());
       const double h2d_per_byte =
           (platform.h2d_seconds(1u << 30) - platform.h2d_seconds(0)) /
           static_cast<double>(1u << 30);
@@ -221,16 +258,20 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
     auto run_gpu = [&](std::size_t gs) {
       const int g = static_cast<int>(gs);
       const auto& ids = assignment.per_gpu[gs];
+      // Per-GPU streamer: each GPU's shard list fetches independently
+      // (its own pair of read-ahead buffers when the copy is spilled).
+      auto streamer = make_streamer(copy, ids);
       if (options.pipelined_streaming) {
         double ec_total = 0.0;
-        execute_pipelined(platform, g, copy, ids, factors, out, options,
-                          profile, &ec_total);
+        execute_pipelined(platform, g, copy, ids, *streamer, factors, out,
+                          options, profile, &ec_total);
         bd.per_gpu_compute[gs] += ec_total;
       } else {
-        for (std::size_t id : ids) {
-          const double ec = execute_shard(platform, g, copy,
-                                          partition.shards[id], factors,
-                                          out, options, profile);
+        for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+          const double ec =
+              execute_shard(platform, g, copy, partition.shards[ids[pos]],
+                            streamer->acquire(pos), factors, out, options,
+                            profile);
           bd.per_gpu_compute[gs] += ec;
         }
       }

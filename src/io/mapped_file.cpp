@@ -1,0 +1,70 @@
+#include "io/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace amped::io {
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("io: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("io: cannot stat " + path + ": " +
+                             std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("io: cannot mmap " + path + ": " +
+                               std::strerror(err));
+    }
+    data_ = static_cast<const std::byte*>(mapped);
+  }
+  ::close(fd);  // the mapping keeps the file contents reachable
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)), data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::unmap() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace amped::io

@@ -1,0 +1,45 @@
+// Read-only memory-mapped file, RAII.
+//
+// The storage engine's zero-copy paths — snapshot reloads, spilled shard
+// streams, and the parallel text-ingest scanner — all start from a mapped
+// byte range: the kernel pages data in on first touch and can evict it
+// under memory pressure, which is exactly the disk→host tier of the
+// streaming hierarchy. POSIX mmap only; this project targets Linux hosts
+// (the container toolchain) and falls back to nothing else.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace amped::io {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  // Opens and maps `path` read-only. Throws std::runtime_error when the
+  // file cannot be opened or mapped. Empty files map to a null range.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  void unmap() noexcept;
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace amped::io

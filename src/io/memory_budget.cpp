@@ -1,0 +1,174 @@
+#include "io/memory_budget.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace amped::io {
+
+std::uint64_t parse_byte_size(const std::string& text) {
+  if (text.empty()) {
+    throw std::runtime_error("parse_byte_size: empty size string");
+  }
+  if (!std::isdigit(static_cast<unsigned char>(text.front()))) {
+    // stoull would silently wrap "-512" to a huge value; sizes are
+    // unsigned digits only.
+    throw std::runtime_error("parse_byte_size: not a size: '" + text + "'");
+  }
+  std::size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &pos, 10);
+  } catch (const std::exception&) {
+    throw std::runtime_error("parse_byte_size: not a size: '" + text + "'");
+  }
+  // Optional suffix: K/M/G/T, optionally followed by "B" or "iB".
+  std::uint64_t multiplier = 1;
+  if (pos < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+      case 'K': multiplier = 1ull << 10; ++pos; break;
+      case 'M': multiplier = 1ull << 20; ++pos; break;
+      case 'G': multiplier = 1ull << 30; ++pos; break;
+      case 'T': multiplier = 1ull << 40; ++pos; break;
+      case 'B': break;  // bare "B" handled below
+      default:
+        throw std::runtime_error("parse_byte_size: bad suffix in '" + text +
+                                 "'");
+    }
+    if (pos < text.size() &&
+        std::tolower(static_cast<unsigned char>(text[pos])) == 'i') {
+      ++pos;
+    }
+    if (pos < text.size() &&
+        std::toupper(static_cast<unsigned char>(text[pos])) == 'B') {
+      ++pos;
+    }
+    if (pos != text.size()) {
+      throw std::runtime_error("parse_byte_size: bad suffix in '" + text +
+                               "'");
+    }
+  }
+  if (multiplier != 1 && value > UINT64_MAX / multiplier) {
+    throw std::runtime_error("parse_byte_size: size overflows 64 bits: '" +
+                             text + "'");
+  }
+  return static_cast<std::uint64_t>(value) * multiplier;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os.precision(unit == 0 ? 0 : 1);
+  os << std::fixed << v << ' ' << kUnits[unit];
+  return os.str();
+}
+
+HostMemoryBudget::HostMemoryBudget() {
+  const char* env = std::getenv("AMPED_MEMORY_BUDGET");
+  if (env != nullptr && *env != '\0') {
+    try {
+      limit_ = parse_byte_size(env);
+    } catch (const std::exception& e) {
+      AMPED_LOG_WARN << "ignoring AMPED_MEMORY_BUDGET: " << e.what();
+    }
+  }
+}
+
+HostMemoryBudget& HostMemoryBudget::global() {
+  static HostMemoryBudget budget;
+  return budget;
+}
+
+void HostMemoryBudget::set_limit(std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  limit_ = bytes;
+}
+
+std::uint64_t HostMemoryBudget::limit() const {
+  std::lock_guard lock(mutex_);
+  return limit_;
+}
+
+std::uint64_t HostMemoryBudget::in_use() const {
+  std::lock_guard lock(mutex_);
+  return in_use_;
+}
+
+std::uint64_t HostMemoryBudget::peak() const {
+  std::lock_guard lock(mutex_);
+  return peak_;
+}
+
+std::uint64_t HostMemoryBudget::remaining() const {
+  std::lock_guard lock(mutex_);
+  if (limit_ == 0) return UINT64_MAX;
+  return limit_ > in_use_ ? limit_ - in_use_ : 0;
+}
+
+void HostMemoryBudget::reset_peak() {
+  std::lock_guard lock(mutex_);
+  peak_ = in_use_;
+}
+
+void HostMemoryBudget::charge(std::uint64_t bytes, const char* what) {
+  std::lock_guard lock(mutex_);
+  if (limit_ != 0 && in_use_ + bytes > limit_) {
+    throw std::runtime_error(
+        std::string("memory budget exceeded: ") + what + " needs " +
+        format_bytes(bytes) + " but only " +
+        format_bytes(limit_ > in_use_ ? limit_ - in_use_ : 0) + " of " +
+        format_bytes(limit_) + " remain");
+  }
+  in_use_ += bytes;
+  if (in_use_ > peak_) peak_ = in_use_;
+}
+
+void HostMemoryBudget::release(std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  in_use_ = in_use_ > bytes ? in_use_ - bytes : 0;
+}
+
+BudgetReservation::BudgetReservation(HostMemoryBudget& budget,
+                                     std::uint64_t bytes, const char* what)
+    : budget_(&budget), bytes_(bytes) {
+  budget.charge(bytes, what);  // throws before taking ownership
+}
+
+BudgetReservation::~BudgetReservation() { reset(); }
+
+BudgetReservation::BudgetReservation(BudgetReservation&& other) noexcept
+    : budget_(other.budget_), bytes_(other.bytes_) {
+  other.budget_ = nullptr;
+  other.bytes_ = 0;
+}
+
+BudgetReservation& BudgetReservation::operator=(
+    BudgetReservation&& other) noexcept {
+  if (this != &other) {
+    reset();
+    budget_ = other.budget_;
+    bytes_ = other.bytes_;
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void BudgetReservation::reset() {
+  if (budget_ != nullptr && bytes_ != 0) {
+    budget_->release(bytes_);
+  }
+  budget_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace amped::io

@@ -1,0 +1,288 @@
+#include "io/tns_ingest.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "io/mapped_file.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amped::io {
+
+namespace {
+
+constexpr std::size_t kMinChunkBytes = 1u << 16;
+
+// Parse failure at a byte offset; converted to a 1-based line number once,
+// at the top level (counting newlines per line during the parallel scan
+// would serialise it).
+struct TnsParseAt {
+  std::size_t offset;
+  std::string what;
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tns_io: " + what);
+}
+
+[[noreturn]] void fail_at(std::string_view text, std::size_t offset,
+                          const std::string& what) {
+  const auto line =
+      1 + std::count(text.begin(),
+                     text.begin() + static_cast<std::ptrdiff_t>(offset),
+                     '\n');
+  fail(what + " (line " + std::to_string(line) + ")");
+}
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+// Greedy prefix-of-doubles scan with istream extraction semantics: parse
+// until the first token that does not start with a number, silently
+// ignoring the rest of the line (exactly what `while (stream >> f)` does).
+void parse_fields(std::string_view line, std::vector<double>& fields) {
+  fields.clear();
+  const char* p = line.data();
+  const char* end = p + line.size();
+  while (true) {
+    while (p != end && is_space(*p)) ++p;
+    if (p == end) return;
+    // istream extraction accepts an explicit leading '+'; from_chars does
+    // not, so strip it to keep the two parsers byte-for-byte equivalent.
+    const char* q = p;
+    if (*q == '+' && q + 1 != end) ++q;
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(q, end, v);
+    if (ec != std::errc()) return;
+    fields.push_back(v);
+    p = ptr;
+  }
+}
+
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+// Cuts [0, text.size()) into at most `max_chunks` ranges whose boundaries
+// fall just after a newline.
+std::vector<Chunk> split_chunks(std::string_view text,
+                                std::size_t max_chunks) {
+  std::vector<Chunk> chunks;
+  if (text.empty()) return chunks;
+  const std::size_t approx = text.size() / max_chunks;
+  std::size_t start = 0;
+  for (std::size_t c = 1; c < max_chunks && start < text.size(); ++c) {
+    std::size_t target = c * approx;
+    if (target <= start) continue;
+    const std::size_t nl = text.find('\n', target);
+    if (nl == std::string_view::npos || nl + 1 >= text.size()) break;
+    chunks.push_back({start, nl + 1});
+    start = nl + 1;
+  }
+  chunks.push_back({start, text.size()});
+  return chunks;
+}
+
+struct ChunkResult {
+  std::size_t num_modes = 0;  // 0 until the chunk sees a data line
+  // First data line of the chunk, recorded before any validation: the
+  // merge phase uses it to reproduce the serial parser's error position
+  // when a chunk's local mode count disagrees with the document's.
+  std::size_t first_data_fields = 0;
+  std::size_t first_data_offset = 0;
+  std::string first_data_line;
+  std::vector<std::vector<index_t>> cols;  // 0-based coordinates
+  std::vector<value_t> vals;
+  std::array<index_t, kMaxModes> maxima{};  // 1-based per-mode maxima
+  std::vector<index_t> declared_dims;
+};
+
+void parse_chunk(std::string_view text, Chunk chunk, ChunkResult& out) {
+  std::vector<double> fields;
+  std::size_t pos = chunk.begin;
+  while (pos < chunk.end) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos || eol >= chunk.end) eol = chunk.end;
+    const std::size_t line_offset = pos;
+    const std::string_view line = trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      // Optional "# dims: a b c" header.
+      const auto dims_pos = line.find("dims:");
+      if (dims_pos != std::string_view::npos) {
+        const char* p = line.data() + dims_pos + 5;
+        const char* end = line.data() + line.size();
+        while (true) {
+          while (p != end && is_space(*p)) ++p;
+          if (p == end) break;
+          const char* q = p;  // istream-style optional '+'
+          if (*q == '+' && q + 1 != end) ++q;
+          index_t d = 0;
+          auto [ptr, ec] = std::from_chars(q, end, d);
+          if (ec != std::errc()) break;
+          out.declared_dims.push_back(d);
+          p = ptr;
+        }
+      }
+      continue;
+    }
+
+    parse_fields(line, fields);
+    if (fields.size() < 2) {
+      throw TnsParseAt{line_offset,
+                       "line with fewer than 2 fields: " + std::string(line)};
+    }
+    if (out.first_data_fields == 0) {
+      out.first_data_fields = fields.size();
+      out.first_data_offset = line_offset;
+      out.first_data_line = std::string(line);
+      const std::size_t modes = fields.size() - 1;
+      if (modes > kMaxModes) throw TnsParseAt{line_offset, "too many modes"};
+      out.num_modes = modes;
+      out.cols.resize(modes);
+    } else if (fields.size() - 1 != out.num_modes) {
+      throw TnsParseAt{line_offset, "inconsistent mode count on line: " +
+                                        std::string(line)};
+    }
+    for (std::size_t m = 0; m < out.num_modes; ++m) {
+      if (fields[m] < 1) {
+        throw TnsParseAt{line_offset, "index < 1 (FROSTT is 1-based): " +
+                                          std::string(line)};
+      }
+      const auto v = static_cast<index_t>(fields[m]);
+      out.maxima[m] = std::max(out.maxima[m], v);
+      out.cols[m].push_back(v - 1);
+    }
+    out.vals.push_back(static_cast<value_t>(fields[out.num_modes]));
+  }
+}
+
+}  // namespace
+
+CooTensor read_tns_text(std::string_view text, std::size_t chunk_hint) {
+  std::size_t max_chunks = chunk_hint;
+  if (max_chunks == 0) {
+    // One chunk per worker, but never chunks so small that per-chunk
+    // bookkeeping dominates.
+    max_chunks = std::max<std::size_t>(
+        1, std::min(host_parallelism(), text.size() / kMinChunkBytes));
+  }
+  const auto chunks = split_chunks(text, max_chunks);
+
+  std::vector<ChunkResult> results(chunks.size());
+  std::optional<TnsParseAt> parse_error;
+  std::exception_ptr other_error;
+  if (chunks.size() <= 1) {
+    try {
+      if (!chunks.empty()) parse_chunk(text, chunks[0], results[0]);
+    } catch (const TnsParseAt& e) {
+      parse_error = e;
+    }
+  } else {
+    std::vector<std::optional<TnsParseAt>> chunk_errors(chunks.size());
+    std::vector<std::exception_ptr> chunk_other(chunks.size());
+    global_thread_pool().parallel_for(chunks.size(), [&](std::size_t c) {
+      try {
+        parse_chunk(text, chunks[c], results[c]);
+      } catch (const TnsParseAt& e) {
+        chunk_errors[c] = e;
+      } catch (...) {
+        chunk_other[c] = std::current_exception();
+      }
+    });
+    // Report the error earliest in the document, matching where the
+    // serial parser would have stopped.
+    for (auto& e : chunk_errors) {
+      if (e && (!parse_error || e->offset < parse_error->offset)) {
+        parse_error = e;
+      }
+    }
+    for (auto& e : chunk_other) {
+      if (e && !other_error) other_error = e;
+    }
+  }
+  if (other_error) std::rethrow_exception(other_error);
+
+  // The file's mode count is set by its first data line (the earliest
+  // chunk that saw one — chunk order is document order). A chunk whose
+  // own first data line disagrees parsed under the wrong local mode
+  // count, so any error it raised later is bogus — but its first data
+  // line is exactly where the serial parser reports "inconsistent mode
+  // count", and that offset precedes every in-chunk error of the same
+  // chunk. Folding these candidates into the minimum-offset pick (ties
+  // go to the candidate) therefore reproduces the serial error exactly.
+  std::size_t first_fields = 0;
+  for (const auto& r : results) {
+    if (r.first_data_fields != 0) {
+      first_fields = r.first_data_fields;
+      break;
+    }
+  }
+  for (const auto& r : results) {
+    if (r.first_data_fields != 0 && r.first_data_fields != first_fields &&
+        (!parse_error || r.first_data_offset <= parse_error->offset)) {
+      parse_error =
+          TnsParseAt{r.first_data_offset,
+                     "inconsistent mode count on line: " + r.first_data_line};
+    }
+  }
+  if (parse_error) fail_at(text, parse_error->offset, parse_error->what);
+  const std::size_t num_modes = first_fields == 0 ? 0 : first_fields - 1;
+  if (num_modes == 0) fail("empty tensor stream");
+
+  std::vector<index_t> dims(num_modes, 0);
+  std::vector<index_t> declared_dims;
+  nnz_t total = 0;
+  for (const auto& r : results) {
+    for (std::size_t m = 0; m < num_modes && r.num_modes != 0; ++m) {
+      dims[m] = std::max(dims[m], r.maxima[m]);
+    }
+    declared_dims.insert(declared_dims.end(), r.declared_dims.begin(),
+                         r.declared_dims.end());
+    total += r.vals.size();
+  }
+  if (!declared_dims.empty()) {
+    if (declared_dims.size() != num_modes) fail("dims header mode mismatch");
+    for (std::size_t m = 0; m < num_modes; ++m) {
+      if (declared_dims[m] < dims[m]) fail("dims header smaller than data");
+      dims[m] = declared_dims[m];
+    }
+  }
+
+  std::vector<std::vector<index_t>> cols(num_modes);
+  std::vector<value_t> vals;
+  for (std::size_t m = 0; m < num_modes; ++m) cols[m].reserve(total);
+  vals.reserve(total);
+  for (auto& r : results) {
+    if (r.num_modes == 0) continue;
+    for (std::size_t m = 0; m < num_modes; ++m) {
+      cols[m].insert(cols[m].end(), r.cols[m].begin(), r.cols[m].end());
+    }
+    vals.insert(vals.end(), r.vals.begin(), r.vals.end());
+  }
+  return CooTensor::from_parts(std::move(dims), std::move(cols),
+                               std::move(vals));
+}
+
+CooTensor read_tns_file_parallel(const std::string& path,
+                                 std::size_t chunk_hint) {
+  MappedFile file(path);
+  return read_tns_text(file.view(), chunk_hint);
+}
+
+}  // namespace amped::io

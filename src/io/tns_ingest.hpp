@@ -1,0 +1,34 @@
+// Parallel FROSTT `.tns` ingest.
+//
+// Text parsing was the serial preamble in front of every real-dataset run;
+// this module turns it into a parallel hot path: the file is mapped, cut
+// into byte ranges split on newline boundaries, and each range is parsed
+// into its own SoA block (plus per-mode index maxima) by a task on the
+// global thread pool, using std::from_chars instead of iostream
+// extraction. Blocks are then concatenated in chunk order, so the result
+// is byte-for-byte identical to the serial `read_tns` — including which
+// line a malformed input is reported on.
+//
+// Accepts everything the hardened serial parser accepts: `#` comments, an
+// optional `# dims: ...` header, CRLF line endings, and leading/trailing
+// whitespace. Malformed input throws std::runtime_error naming the
+// 1-based line number.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace amped::io {
+
+// Parses a whole `.tns` text held in memory. `chunk_hint` caps the number
+// of parallel chunks (0 = derive from the pool size and text length; 1 =
+// serial).
+CooTensor read_tns_text(std::string_view text, std::size_t chunk_hint = 0);
+
+// Maps `path` and parses it with read_tns_text.
+CooTensor read_tns_file_parallel(const std::string& path,
+                                 std::size_t chunk_hint = 0);
+
+}  // namespace amped::io

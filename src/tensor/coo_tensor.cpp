@@ -12,6 +12,19 @@ CooTensor::CooTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
   index_.resize(dims_.size());
 }
 
+CooTensor CooTensor::from_parts(std::vector<index_t> dims,
+                                std::vector<std::vector<index_t>> indices,
+                                std::vector<value_t> values) {
+  CooTensor t(std::move(dims));
+  assert(indices.size() == t.num_modes());
+  for ([[maybe_unused]] const auto& col : indices) {
+    assert(col.size() == values.size());
+  }
+  t.index_ = std::move(indices);
+  t.values_ = std::move(values);
+  return t;
+}
+
 void CooTensor::push_back(std::span<const index_t> coords, value_t value) {
   assert(coords.size() == num_modes());
   for (std::size_t m = 0; m < num_modes(); ++m) {
@@ -108,12 +121,16 @@ std::string human_count(double v) {
 }  // namespace
 
 std::string CooTensor::shape_string() const {
+  return amped::shape_string(dims_, nnz());
+}
+
+std::string shape_string(std::span<const index_t> dims, nnz_t nnz) {
   std::ostringstream os;
-  for (std::size_t m = 0; m < num_modes(); ++m) {
+  for (std::size_t m = 0; m < dims.size(); ++m) {
     if (m) os << " x ";
-    os << human_count(static_cast<double>(dims_[m]));
+    os << human_count(static_cast<double>(dims[m]));
   }
-  os << ", " << human_count(static_cast<double>(nnz())) << " nnz";
+  os << ", " << human_count(static_cast<double>(nnz)) << " nnz";
   return os.str();
 }
 

@@ -23,6 +23,14 @@ class CooTensor {
   // Creates an empty tensor with the given mode sizes.
   explicit CooTensor(std::vector<index_t> dims);
 
+  // Adopts fully-built SoA arrays without per-element appends: `indices`
+  // holds one column per mode, all sized like `values`. This is the bulk
+  // path used by the storage engine (snapshot reloads, parallel ingest,
+  // shard streams); push_back stays the incremental one.
+  static CooTensor from_parts(std::vector<index_t> dims,
+                              std::vector<std::vector<index_t>> indices,
+                              std::vector<value_t> values);
+
   std::size_t num_modes() const { return dims_.size(); }
   nnz_t nnz() const { return values_.size(); }
   const std::vector<index_t>& dims() const { return dims_; }
@@ -73,5 +81,9 @@ class CooTensor {
   std::vector<std::vector<index_t>> index_;  // index_[mode][n]
   std::vector<value_t> values_;
 };
+
+// The "8.2M x 177K x 8.1M, 4.7B nnz" rendering behind
+// CooTensor::shape_string, shared with non-owning tensor views.
+std::string shape_string(std::span<const index_t> dims, nnz_t nnz);
 
 }  // namespace amped

@@ -1,11 +1,16 @@
 #include "tensor/tns_io.hpp"
 
 #include <array>
+#include <cctype>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "io/snapshot.hpp"
+#include "io/tns_ingest.hpp"
 
 namespace amped {
 
@@ -14,6 +19,23 @@ constexpr char kMagic[8] = {'A', 'M', 'P', 'T', 'N', 'S', '0', '1'};
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("tns_io: " + what);
+}
+
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& what) {
+  fail(what + " (line " + std::to_string(line_no) + ")");
+}
+
+// Strips leading/trailing whitespace — including the '\r' a CRLF file
+// leaves at the end of every getline() result.
+void trim(std::string& s) {
+  auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  std::size_t begin = 0;
+  while (begin < s.size() && is_space(s[begin])) ++begin;
+  std::size_t end = s.size();
+  while (end > begin && is_space(s[end - 1])) --end;
+  s = s.substr(begin, end - begin);
 }
 }  // namespace
 
@@ -24,7 +46,10 @@ CooTensor read_tns(std::istream& in) {
   std::size_t num_modes = 0;
 
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    trim(line);
     if (line.empty()) continue;
     if (line[0] == '#') {
       // Optional "# dims: a b c" header.
@@ -40,16 +65,20 @@ CooTensor read_tns(std::istream& in) {
     std::vector<double> fields;
     double f;
     while (ls >> f) fields.push_back(f);
-    if (fields.size() < 2) fail("line with fewer than 2 fields: " + line);
+    if (fields.size() < 2) {
+      fail_line(line_no, "line with fewer than 2 fields: " + line);
+    }
     if (num_modes == 0) {
       num_modes = fields.size() - 1;
-      if (num_modes > kMaxModes) fail("too many modes");
+      if (num_modes > kMaxModes) fail_line(line_no, "too many modes");
       cols.resize(num_modes);
     } else if (fields.size() - 1 != num_modes) {
-      fail("inconsistent mode count on line: " + line);
+      fail_line(line_no, "inconsistent mode count on line: " + line);
     }
     for (std::size_t m = 0; m < num_modes; ++m) {
-      if (fields[m] < 1) fail("index < 1 (FROSTT is 1-based): " + line);
+      if (fields[m] < 1) {
+        fail_line(line_no, "index < 1 (FROSTT is 1-based): " + line);
+      }
       cols[m].push_back(static_cast<index_t>(fields[m]));
     }
     vals.push_back(static_cast<value_t>(fields[num_modes]));
@@ -68,20 +97,26 @@ CooTensor read_tns(std::istream& in) {
     }
   }
 
-  CooTensor t(dims);
-  t.reserve(vals.size());
-  std::array<index_t, kMaxModes> coords{};
-  for (std::size_t n = 0; n < vals.size(); ++n) {
-    for (std::size_t m = 0; m < num_modes; ++m) coords[m] = cols[m][n] - 1;
-    t.push_back(std::span<const index_t>(coords.data(), num_modes), vals[n]);
+  // Shift to 0-based in place and adopt the columns wholesale.
+  for (auto& col : cols) {
+    for (auto& v : col) --v;
   }
-  return t;
+  return CooTensor::from_parts(std::move(dims), std::move(cols),
+                               std::move(vals));
 }
 
 CooTensor read_tns_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) fail("cannot open " + path);
-  return read_tns(in);
+  // The parallel ingest path produces element-for-element the same tensor
+  // as read_tns on the same bytes (asserted in parallel_ingest_test). It
+  // mmaps, so non-regular inputs (FIFOs, process substitution) keep the
+  // streaming reader.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    std::ifstream in(path);
+    if (!in) fail("cannot open " + path);
+    return read_tns(in);
+  }
+  return io::read_tns_file_parallel(path);
 }
 
 void write_tns(const CooTensor& t, std::ostream& out) {
@@ -103,23 +138,23 @@ void write_tns_file(const CooTensor& t, const std::string& path) {
 }
 
 void write_binary_file(const CooTensor& t, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail("cannot open " + path + " for writing");
+  // Crash-safe like the v2 writer: bytes land in a temp file that is
+  // fsynced and atomically renamed over `path` on success.
+  io::AtomicFileWriter out(path);
   out.write(kMagic, sizeof(kMagic));
   const std::uint64_t modes = t.num_modes();
   const std::uint64_t nnz = t.nnz();
-  out.write(reinterpret_cast<const char*>(&modes), sizeof(modes));
-  out.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  out.write(&modes, sizeof(modes));
+  out.write(&nnz, sizeof(nnz));
   for (index_t d : t.dims()) {
     const std::uint64_t dim = d;
-    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(&dim, sizeof(dim));
   }
   for (std::size_t m = 0; m < t.num_modes(); ++m) {
-    out.write(reinterpret_cast<const char*>(t.indices(m).data()),
-              static_cast<std::streamsize>(nnz * sizeof(index_t)));
+    out.write(t.indices(m).data(), nnz * sizeof(index_t));
   }
-  out.write(reinterpret_cast<const char*>(t.values().data()),
-            static_cast<std::streamsize>(nnz * sizeof(value_t)));
+  out.write(t.values().data(), nnz * sizeof(value_t));
+  out.commit();
 }
 
 CooTensor read_binary_file(const std::string& path) {
@@ -127,6 +162,10 @@ CooTensor read_binary_file(const std::string& path) {
   if (!in) fail("cannot open " + path);
   char magic[8];
   in.read(magic, sizeof(magic));
+  if (in && std::memcmp(magic, io::kSnapshotMagicV2, sizeof(magic)) == 0) {
+    in.close();
+    return io::read_snapshot_file(path);  // forward compatibility
+  }
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     fail("bad magic in " + path);
   }
@@ -134,16 +173,34 @@ CooTensor read_binary_file(const std::string& path) {
   in.read(reinterpret_cast<char*>(&modes), sizeof(modes));
   in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
   if (!in || modes == 0 || modes > kMaxModes) fail("bad header in " + path);
+
+  // Validate the claimed element count against the actual file size
+  // before allocating: a truncated or corrupt header must produce a clear
+  // error, not a partially-filled tensor or a giant allocation. The
+  // division bound runs first so `nnz * per_nnz` cannot wrap.
+  const std::uint64_t header_bytes = sizeof(kMagic) +
+                                     2 * sizeof(std::uint64_t) +
+                                     modes * sizeof(std::uint64_t);
+  const std::uint64_t per_nnz = modes * sizeof(index_t) + sizeof(value_t);
+  std::error_code ec;
+  const std::uint64_t actual = std::filesystem::file_size(path, ec);
+  if (ec || actual < header_bytes ||
+      (actual - header_bytes) / per_nnz < nnz ||
+      actual - header_bytes != nnz * per_nnz) {
+    fail("truncated file " + path + " (header promises " +
+         std::to_string(header_bytes) + "+" + std::to_string(nnz) + "*" +
+         std::to_string(per_nnz) + " bytes, file has " +
+         std::to_string(actual) + ")");
+  }
+
   std::vector<index_t> dims(modes);
   for (auto& d : dims) {
     std::uint64_t dim = 0;
     in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
     d = static_cast<index_t>(dim);
   }
-  CooTensor t(dims);
-  t.reserve(nnz);
-  // Read SoA arrays then bulk-append.
-  std::vector<std::vector<index_t>> cols(modes, std::vector<index_t>(nnz));
+  std::vector<std::vector<index_t>> cols(modes,
+                                         std::vector<index_t>(nnz));
   for (auto& c : cols) {
     in.read(reinterpret_cast<char*>(c.data()),
             static_cast<std::streamsize>(nnz * sizeof(index_t)));
@@ -152,12 +209,8 @@ CooTensor read_binary_file(const std::string& path) {
   in.read(reinterpret_cast<char*>(vals.data()),
           static_cast<std::streamsize>(nnz * sizeof(value_t)));
   if (!in) fail("truncated file " + path);
-  std::array<index_t, kMaxModes> coords{};
-  for (nnz_t n = 0; n < nnz; ++n) {
-    for (std::size_t m = 0; m < modes; ++m) coords[m] = cols[m][n];
-    t.push_back(std::span<const index_t>(coords.data(), modes), vals[n]);
-  }
-  return t;
+  return CooTensor::from_parts(std::move(dims), std::move(cols),
+                               std::move(vals));
 }
 
 }  // namespace amped

@@ -17,15 +17,21 @@ namespace amped {
 
 // Parses a FROSTT text tensor from a stream. Mode sizes are taken as the
 // max index seen per mode unless a `# dims: a b c` header is present.
-// Throws std::runtime_error on malformed input.
+// Tolerates CRLF line endings and leading/trailing whitespace. Throws
+// std::runtime_error on malformed input, naming the 1-based line number.
 CooTensor read_tns(std::istream& in);
+// File variant; routes through the parallel ingest in io/tns_ingest.hpp
+// (chunked over the thread pool, same result element for element).
 CooTensor read_tns_file(const std::string& path);
 
 // Writes FROSTT text (1-based indices, `# dims:` header first).
 void write_tns(const CooTensor& t, std::ostream& out);
 void write_tns_file(const CooTensor& t, const std::string& path);
 
-// Binary snapshot (magic "AMPTNS01").
+// v1 binary snapshot (magic "AMPTNS01"). The writer is crash-safe (temp
+// file + atomic rename); the reader rejects truncated files and
+// transparently forwards v2 ("AMPTNS02") files to io/snapshot.hpp, where
+// the current checksummed, mmap-able format lives.
 void write_binary_file(const CooTensor& t, const std::string& path);
 CooTensor read_binary_file(const std::string& path);
 

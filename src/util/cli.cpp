@@ -1,7 +1,10 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
+#include "io/memory_budget.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped {
@@ -59,6 +62,20 @@ void apply_common_flags(const CliArgs& args) {
   const std::int64_t threads = args.get_int("threads", 0);
   if (threads > 0) {
     set_host_parallelism(static_cast<std::size_t>(threads));
+  }
+  if (args.has("memory-budget")) {
+    // Sizes accept K/M/G/T suffixes; "0" returns to unlimited. The flag
+    // wins over the AMPED_MEMORY_BUDGET environment variable. A typo
+    // exits with a usage error rather than escaping main as an
+    // exception (this helper only runs in CLI binaries).
+    try {
+      io::HostMemoryBudget::global().set_limit(
+          io::parse_byte_size(args.get("memory-budget", "0")));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: invalid --memory-budget value: %s\n",
+                   e.what());
+      std::exit(2);
+    }
   }
 }
 

@@ -35,7 +35,9 @@ class CliArgs {
 
 // Applies the flags every binary understands: `--threads N` overrides the
 // host thread pool size (same effect as the AMPED_THREADS environment
-// variable; the flag wins when both are given).
+// variable) and `--memory-budget SIZE` caps tracked host allocations
+// (same as AMPED_MEMORY_BUDGET; "512M"/"2G" suffixes accepted, 0 =
+// unlimited). Flags win when both a flag and its variable are given.
 void apply_common_flags(const CliArgs& args);
 
 }  // namespace amped

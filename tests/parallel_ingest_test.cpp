@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "io/tns_ingest.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/tns_io.hpp"
+
+namespace amped {
+namespace {
+
+void expect_tensors_equal(const CooTensor& a, const CooTensor& b) {
+  ASSERT_EQ(a.num_modes(), b.num_modes());
+  ASSERT_EQ(a.dims(), b.dims());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t m = 0; m < a.num_modes(); ++m) {
+    ASSERT_EQ(0, std::memcmp(a.indices(m).data(), b.indices(m).data(),
+                             a.nnz() * sizeof(index_t)))
+        << "mode " << m << " differs";
+  }
+  ASSERT_EQ(0, std::memcmp(a.values().data(), b.values().data(),
+                           a.nnz() * sizeof(value_t)));
+}
+
+CooTensor serial_parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_tns(in);
+}
+
+std::string tns_text_of(const CooTensor& t) {
+  std::ostringstream out;
+  write_tns(t, out);
+  return out.str();
+}
+
+TEST(ParallelIngestTest, MatchesSerialAcrossShapesAndChunkCounts) {
+  struct Case {
+    std::vector<index_t> dims;
+    nnz_t nnz;
+  };
+  const Case cases[] = {
+      {{64}, 150},                // 1 mode
+      {{40, 30}, 400},            // 2 modes
+      {{20, 30, 10}, 1000},       // 3 modes
+      {{12, 9, 7, 5, 4}, 700},    // 5 modes
+  };
+  std::uint64_t seed = 11;
+  for (const auto& c : cases) {
+    GeneratorOptions opt;
+    opt.dims = c.dims;
+    opt.nnz = c.nnz;
+    opt.seed = seed++;
+    const auto t = generate_random(opt);
+    const auto text = tns_text_of(t);
+    const auto serial = serial_parse(text);
+    for (std::size_t chunks : {std::size_t{0}, std::size_t{1},
+                               std::size_t{3}, std::size_t{8}}) {
+      expect_tensors_equal(serial, io::read_tns_text(text, chunks));
+    }
+  }
+}
+
+TEST(ParallelIngestTest, AcceptsCrlfAndWhitespace) {
+  const std::string text =
+      "  # a comment with leading spaces\r\n"
+      "\t# dims: 10 10 10\r\n"
+      "\r\n"
+      "   \t  \r\n"
+      " 1 1 1 2.5 \r\n"
+      "\t3\t2\t5\t-1.0\t\r\n"
+      "10 10 10 4.0";  // no trailing newline
+  for (std::size_t chunks : {std::size_t{1}, std::size_t{4}}) {
+    const auto t = io::read_tns_text(text, chunks);
+    ASSERT_EQ(t.num_modes(), 3u);
+    ASSERT_EQ(t.nnz(), 3u);
+    EXPECT_EQ(t.dim(0), 10u);
+    EXPECT_EQ(t.indices(0)[1], 2u);
+    EXPECT_FLOAT_EQ(t.values()[0], 2.5f);
+    EXPECT_FLOAT_EQ(t.values()[2], 4.0f);
+  }
+  // The hardened serial parser accepts the same bytes.
+  expect_tensors_equal(serial_parse(text), io::read_tns_text(text));
+}
+
+TEST(ParallelIngestTest, ErrorsNameTheLine) {
+  const std::string text =
+      "# comment\n"
+      "1 1 1 2.5\n"
+      "1 0 1 3.5\n";  // zero index on line 3
+  for (std::size_t chunks : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      io::read_tns_text(text, chunks);
+      FAIL() << "expected malformed input to throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("(line 3)"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("1-based"), std::string::npos);
+    }
+  }
+  // Serial parser reports the same position.
+  try {
+    serial_parse(text);
+    FAIL() << "expected malformed input to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("(line 3)"), std::string::npos);
+  }
+}
+
+TEST(ParallelIngestTest, ReportsEarliestErrorAcrossChunks) {
+  // Two bad lines; whatever the chunking, the first one wins — matching
+  // where the serial parser stops.
+  std::string text = "1 1 1 1.0\n";
+  for (int i = 0; i < 50; ++i) text += "2 2 2 2.0\n";
+  text += "bad line\n";             // line 52
+  for (int i = 0; i < 50; ++i) text += "3 3 3 3.0\n";
+  text += "0 1 1 1.0\n";            // line 103, also bad
+  try {
+    io::read_tns_text(text, 6);
+    FAIL() << "expected malformed input to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("(line 52)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParallelIngestTest, InconsistentModeCountAcrossChunks) {
+  // Enough 3-mode lines to fill the first chunks, then a consistent run
+  // of 4-mode lines that lands in a later chunk: the merge must still
+  // report the first offending line.
+  std::string text;
+  for (int i = 0; i < 60; ++i) text += "1 2 3 1.0\n";
+  for (int i = 0; i < 60; ++i) text += "1 2 3 4 1.0\n";
+  try {
+    io::read_tns_text(text, 4);
+    FAIL() << "expected malformed input to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("inconsistent mode count"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("(line 61)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParallelIngestTest, ChunkLocalModeMismatchStillMatchesSerialError) {
+  // A chunk whose own first data line is internally consistent at the
+  // wrong mode count parses the rest of its range under that wrong
+  // count; any error it raises (here "index < 1" on line 42) is bogus.
+  // The reported error must still be serial's: "inconsistent mode
+  // count" at the chunk's first data line.
+  std::string text;
+  for (int i = 0; i < 40; ++i) text += "1 2 3 1.0\n";  // 3 modes
+  text += "7 1.5\n";   // line 41: 1 mode
+  text += "0 1.5\n";   // line 42: would be "index < 1" under local count
+  for (std::size_t chunks : {std::size_t{1}, std::size_t{4},
+                             std::size_t{41}}) {
+    try {
+      io::read_tns_text(text, chunks);
+      FAIL() << "expected malformed input to throw (chunks=" << chunks
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("inconsistent mode count"),
+                std::string::npos)
+          << "chunks=" << chunks << ": " << e.what();
+      EXPECT_NE(std::string(e.what()).find("(line 41)"), std::string::npos)
+          << "chunks=" << chunks << ": " << e.what();
+    }
+  }
+  // A too-wide line in a non-first position is likewise "inconsistent
+  // mode count" (serial never re-evaluates "too many modes" mid-file).
+  std::string wide;
+  for (int i = 0; i < 40; ++i) wide += "1 2 3 1.0\n";
+  wide += "1 2 3 4 5 6 7 8 9 1.5\n";  // line 41: 9 modes > kMaxModes
+  for (std::size_t chunks : {std::size_t{1}, std::size_t{41}}) {
+    try {
+      io::read_tns_text(wide, chunks);
+      FAIL() << "expected malformed input to throw (chunks=" << chunks
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("inconsistent mode count"),
+                std::string::npos)
+          << "chunks=" << chunks << ": " << e.what();
+      EXPECT_NE(std::string(e.what()).find("(line 41)"), std::string::npos)
+          << "chunks=" << chunks << ": " << e.what();
+    }
+  }
+}
+
+TEST(ParallelIngestTest, AcceptsExplicitPlusSignsLikeIstream) {
+  // istream extraction tolerates "+2" / "+1.5"; the from_chars scanner
+  // must match.
+  const std::string text = "+1 2 3 +2.5\n4 +5 6 -1.0\n";
+  const auto parallel = io::read_tns_text(text, 2);
+  expect_tensors_equal(serial_parse(text), parallel);
+  EXPECT_FLOAT_EQ(parallel.values()[0], 2.5f);
+  EXPECT_EQ(parallel.indices(1)[1], 4u);
+}
+
+TEST(ParallelIngestTest, HonoursDimsHeaderAndRejectsTooSmall) {
+  const std::string ok = "# dims: 10 10 10\n1 1 1 1.0\n";
+  EXPECT_EQ(io::read_tns_text(ok, 2).dim(0), 10u);
+  const std::string bad = "# dims: 2 2 2\n5 1 1 1.0\n";
+  EXPECT_THROW(io::read_tns_text(bad, 2), std::runtime_error);
+}
+
+TEST(ParallelIngestTest, EmptyInputsThrow) {
+  EXPECT_THROW(io::read_tns_text("", 1), std::runtime_error);
+  EXPECT_THROW(io::read_tns_text("# only comments\n", 4),
+               std::runtime_error);
+}
+
+TEST(ParallelIngestTest, FileRoundTripThroughReadTnsFile) {
+  GeneratorOptions opt;
+  opt.dims = {30, 20, 10};
+  opt.nnz = 500;
+  opt.seed = 77;
+  const auto t = generate_random(opt);
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "amped_ingest_roundtrip.tns").string();
+  write_tns_file(t, path);
+  // read_tns_file routes through the parallel ingest.
+  const auto back = read_tns_file(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.nnz(), t.nnz());
+  ASSERT_EQ(back.dims(), t.dims());
+  for (nnz_t n = 0; n < t.nnz(); ++n) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      EXPECT_EQ(back.indices(m)[n], t.indices(m)[n]);
+    }
+    EXPECT_NEAR(back.values()[n], t.values()[n], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace amped
