@@ -21,6 +21,7 @@
 #include "core/amped_tensor.hpp"
 #include "core/ec_kernel.hpp"
 #include "core/mttkrp.hpp"
+#include "exec/reference_loop.hpp"
 #include "formats/sorting.hpp"
 #include "io/mapped_tensor.hpp"
 #include "io/snapshot.hpp"
@@ -367,6 +368,48 @@ void bm_mttkrp_all_modes(benchmark::State& state) {
       static_cast<std::int64_t>(t.nnz() * t.num_modes()));
 }
 BENCHMARK(bm_mttkrp_all_modes)->Name("e2e/mttkrp_all_modes")
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Plan-engine dispatch overhead (ISSUE 4): the same MTTKRP sweep through
+// the execution-plan engine (dispatch/plan_engine) and through the frozen
+// pre-engine loop (dispatch/reference_loop, exec/reference_loop.cpp).
+// Both run identical arithmetic and produce identical simulated times, so
+// the wall-clock ratio isolates what the task IR + executor abstraction
+// costs. CI compares the two and fails if the plan engine is more than 5%
+// slower.
+
+template <typename Fn>
+void bm_dispatch(benchmark::State& state, Fn mttkrp) {
+  const auto& t = unsorted_tensor();
+  AmpedBuildOptions build;
+  build.num_gpus = 4;
+  const auto tensor = AmpedTensor::build(t, build);
+  const auto& f = factors(EcWorkingSet::kDramBound, 32);
+  MttkrpOptions options;
+  for (auto _ : state) {
+    auto platform = sim::make_default_platform(build.num_gpus);
+    std::vector<DenseMatrix> outputs;
+    auto report = mttkrp(platform, tensor, f, outputs, options);
+    benchmark::DoNotOptimize(report.total_seconds);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(t.nnz() * t.num_modes()));
+}
+
+void bm_dispatch_plan(benchmark::State& state) {
+  bm_dispatch(state, [](auto&... args) { return mttkrp_all_modes(args...); });
+}
+BENCHMARK(bm_dispatch_plan)->Name("dispatch/plan_engine")
+    ->Unit(benchmark::kMillisecond);
+
+void bm_dispatch_reference(benchmark::State& state) {
+  bm_dispatch(state, [](auto&... args) {
+    return exec::reference_loop_mttkrp_all_modes(args...);
+  });
+}
+BENCHMARK(bm_dispatch_reference)->Name("dispatch/reference_loop")
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -4,6 +4,13 @@
 //
 //   ./decompose_file --input my_tensor.tns --rank 16 --gpus 4 --output model.ampfac
 //
+// Execution-engine flags (see exec/scheduler.hpp):
+//   --policy cost-model           shard scheduling policy (static-greedy,
+//                                 dynamic-queue, contiguous,
+//                                 weighted-static, cost-model)
+//   --allgather direct            factor exchange (ring, direct, host-staged)
+//   --pipelined                   double-buffered shard streaming
+//
 // Storage-engine flags:
 //   --write-snapshot out.amptns   convert the input to a v2 snapshot
 //                                 (later runs mmap it: no parse, no copy)
@@ -18,6 +25,7 @@
 #include <fstream>
 
 #include "core/cpd.hpp"
+#include "exec/scheduler.hpp"
 #include "io/mapped_tensor.hpp"
 #include "io/memory_budget.hpp"
 #include "io/snapshot.hpp"
@@ -48,7 +56,8 @@ int snapshot_version(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace amped;
   CliArgs args(argc, argv);
-  apply_common_flags(args);
+  CpdOptions opt;
+  apply_common_flags(args, &opt.mttkrp);
   const int gpus = static_cast<int>(args.get_int("gpus", 4));
   const auto rank = static_cast<std::size_t>(args.get_int("rank", 16));
   const auto iters = static_cast<std::size_t>(args.get_int("iters", 15));
@@ -138,9 +147,13 @@ int main(int argc, char** argv) {
               io::format_bytes(tensor.total_bytes()).c_str());
 
   auto platform = sim::make_default_platform(gpus);
-  CpdOptions opt;
   opt.rank = rank;
   opt.max_iterations = iters;
+  // The scheduler name is the effective configuration: dynamic-queue
+  // streams sequentially even under --pipelined, and the name says so.
+  std::printf("execution: %s scheduler, %s all-gather\n",
+              exec::make_scheduler(opt.mttkrp)->name().c_str(),
+              to_string(opt.mttkrp.allgather).c_str());
   const CpdResult result = cp_als(platform, tensor, opt);
   std::printf("CPD rank-%zu: fit %.4f in %zu iterations (simulated MTTKRP "
               "%.4f s on %d GPU%s)\n",

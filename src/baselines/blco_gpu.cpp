@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/ec_kernel.hpp"
+#include "exec/plan.hpp"
 #include "formats/blco.hpp"
 #include "sim/executor.hpp"
 
@@ -39,8 +40,6 @@ BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
   const std::size_t modes = t.num_modes();
   const std::size_t rank = factors.rank();
   auto& gpu = platform.gpu(0);
-  const auto& cost = platform.gpu_cost_model();
-  const int sm_count = gpu.spec().sm_count;
 
   const double t0 = platform.makespan();
   const auto agg0 = platform.aggregate_timeline();
@@ -48,8 +47,17 @@ BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
   gpu.alloc(factors.total_bytes());
   std::array<value_t, 256> scratch{};
 
+  // One sequential lane on GPU 0: per mode, each BLCO block streams
+  // through a pinned bounce buffer (two copies per byte on the single
+  // host link) and executes as one grid. The engine interleaves the H2D
+  // and kernel tasks on the device clock exactly as the bespoke loop did.
+  std::vector<DenseMatrix> outs;
+  outs.reserve(modes);
+  for (std::size_t d = 0; d < modes; ++d) outs.emplace_back(t.dim(d), rank);
+
+  exec::Plan plan;
+  plan.scheduler = "blco-stream";
   for (std::size_t d = 0; d < modes; ++d) {
-    DenseMatrix out(t.dim(d), rank);
     auto profile = blco_kernel_profile();
     profile.factor_read_efficiency = sim::factor_read_efficiency(
         workload.full_dims, rank, d, platform.config().gpu.l2_bytes,
@@ -57,52 +65,70 @@ BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
 
     for (const auto& block : blco.blocks()) {
       const std::uint64_t payload = block.payload_bytes();
-      gpu.alloc(payload);
+
+      exec::Task h2d;
+      h2d.kind = exec::TaskKind::kH2D;
+      h2d.gpu = 0;
       // Out-of-memory streaming: the multi-GB tensor cannot stay pinned,
       // so every block is staged through a pinned bounce buffer — two
-      // copies per byte on the single host link.
-      platform.h2d(0, 2 * payload);
+      // copies per byte, but only one block resident.
+      h2d.transfer_bytes = 2 * payload;
+      h2d.alloc_bytes = payload;
+      plan.tasks.push_back(std::move(h2d));
 
-      // Execute the block as one grid; threadblocks take contiguous
-      // element segments (one per SM at full occupancy).
-      const nnz_t seg = std::max<nnz_t>(
-          options.block_width,
-          (block.nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
-      std::vector<double> block_seconds;
-      RunStatsAccumulator acc;
-      nnz_t in_segment = 0;
-      blco.visit_block(block, [&](std::span<const index_t> coords,
-                                  value_t v) {
-        for (std::size_t r = 0; r < rank; ++r) scratch[r] = v;
-        for (std::size_t w = 0; w < modes; ++w) {
-          if (w == d) continue;
-          const auto row = factors.factor(w).row(coords[w]);
-          for (std::size_t r = 0; r < rank; ++r) scratch[r] *= row[r];
-        }
-        auto out_row = out.row(coords[d]);
-        for (std::size_t r = 0; r < rank; ++r) out_row[r] += scratch[r];
+      exec::Task kernel;
+      kernel.kind = exec::TaskKind::kKernel;
+      kernel.gpu = 0;
+      kernel.free_bytes = payload;
+      kernel.deps = {plan.tasks.size() - 1};
+      kernel.kernel = [&scratch, &blco, &factors, blk = &block, profile,
+                       out = &outs[d], d, modes, rank,
+                       width = options.block_width](
+                          const exec::ExecContext& ctx) -> double {
+        const auto& cost = ctx.platform.cost_model(ctx.gpu);
+        const int sm_count = ctx.platform.gpu(ctx.gpu).spec().sm_count;
+        // Execute the block as one grid; threadblocks take contiguous
+        // element segments (one per SM at full occupancy).
+        const nnz_t seg = std::max<nnz_t>(
+            width,
+            (blk->nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
+        std::vector<double> block_seconds;
+        RunStatsAccumulator acc;
+        nnz_t in_segment = 0;
+        blco.visit_block(*blk, [&](std::span<const index_t> coords,
+                                   value_t v) {
+          for (std::size_t r = 0; r < rank; ++r) scratch[r] = v;
+          for (std::size_t w = 0; w < modes; ++w) {
+            if (w == d) continue;
+            const auto row = factors.factor(w).row(coords[w]);
+            for (std::size_t r = 0; r < rank; ++r) scratch[r] *= row[r];
+          }
+          auto out_row = out->row(coords[d]);
+          for (std::size_t r = 0; r < rank; ++r) out_row[r] += scratch[r];
 
-        acc.feed(coords[d]);
-        if (++in_segment == seg) {
+          acc.feed(coords[d]);
+          if (++in_segment == seg) {
+            block_seconds.push_back(cost.ec_block_seconds(
+                acc.finish(modes, rank, static_cast<std::size_t>(width)),
+                profile));
+            in_segment = 0;
+          }
+        });
+        if (in_segment > 0) {
           block_seconds.push_back(cost.ec_block_seconds(
-              acc.finish(modes, rank,
-                         static_cast<std::size_t>(options.block_width)),
+              acc.finish(modes, rank, static_cast<std::size_t>(width)),
               profile));
-          in_segment = 0;
         }
-      });
-      if (in_segment > 0) {
-        block_seconds.push_back(cost.ec_block_seconds(
-            acc.finish(modes, rank,
-                       static_cast<std::size_t>(options.block_width)),
-            profile));
-      }
-      gpu.advance(sim::Phase::kCompute,
-                  platform.kernel_launch_seconds() +
-                      sim::grid_makespan(block_seconds, sm_count));
-      gpu.free(payload);
+        return ctx.platform.kernel_launch_seconds() +
+               sim::grid_makespan(block_seconds, sm_count);
+      };
+      plan.tasks.push_back(std::move(kernel));
     }
-    if (options.collect_outputs) result.outputs.push_back(std::move(out));
+  }
+
+  exec::PlanExecutor(platform).run(plan);
+  for (std::size_t d = 0; d < modes && options.collect_outputs; ++d) {
+    result.outputs.push_back(std::move(outs[d]));
   }
 
   gpu.free(factors.total_bytes());

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/ec_kernel.hpp"
+#include "exec/plan.hpp"
 #include "formats/memory_model.hpp"
 #include "sim/executor.hpp"
 
@@ -27,9 +28,6 @@ BaselineResult run_flycoo_gpu(sim::Platform& platform, const CooTensor& t,
 
   const std::size_t modes = t.num_modes();
   const std::size_t rank = factors.rank();
-  auto& gpu = platform.gpu(0);
-  const auto& cost = platform.gpu_cost_model();
-  const int sm_count = gpu.spec().sm_count;
 
   // FLYCOO element: indices + value + embedded shard id.
   const double elem_bytes =
@@ -38,43 +36,68 @@ BaselineResult run_flycoo_gpu(sim::Platform& platform, const CooTensor& t,
 
   const detail::Measure measure(platform);
 
-  // Host-side sorted copies stand in for the GPU-side remap result; the
-  // remap itself is charged below as the GPU pass it is (§2.2: dynamic
-  // tensor remapping reorders the tensor during execution time).
-  CooTensor sorted = t;
+  // One sequential lane on GPU 0; per mode, two grids: the dynamic
+  // remapping pass (§2.2 — reorders the resident tensor on the device,
+  // modelled as one read + one write at device bandwidth; the host-side
+  // sort stands in for the remap result) and the EC kernel over the
+  // remapped copy.
+  std::vector<DenseMatrix> outs;
+  outs.reserve(modes);
+  for (std::size_t d = 0; d < modes; ++d) outs.emplace_back(t.dim(d), rank);
+
+  exec::Plan plan;
+  plan.scheduler = "flycoo-remap";
+  auto sorted = std::make_shared<CooTensor>(t);
   for (std::size_t d = 0; d < modes; ++d) {
-    // Dynamic remapping: one read + one write of the full tensor copy at
-    // device bandwidth.
-    const double remap_seconds =
-        2.0 * static_cast<double>(t.nnz()) * elem_bytes /
-        gpu.spec().mem_bandwidth;
-    gpu.advance(sim::Phase::kCompute, remap_seconds);
-    sorted.sort_by_mode(d);
+    exec::Task remap;
+    remap.kind = exec::TaskKind::kKernel;
+    remap.gpu = 0;
+    remap.kernel = [sorted, nnz = t.nnz(), elem_bytes,
+                    d](const exec::ExecContext& ctx) -> double {
+      sorted->sort_by_mode(d);
+      return 2.0 * static_cast<double>(nnz) * elem_bytes /
+             ctx.platform.gpu(ctx.gpu).spec().mem_bandwidth;
+    };
+    plan.tasks.push_back(std::move(remap));
 
-    sim::KernelProfile profile;
-    profile.coord_bytes_per_nnz = elem_bytes;
-    profile.factor_read_efficiency = sim::factor_read_efficiency(
-        workload.full_dims, rank, d, platform.config().gpu.l2_bytes,
-        kFlycooLocality);
-    profile.output_write_efficiency = 1.0;  // sorted: amortised over runs
-    profile.atomic_scale = 1.0;             // runs absorb the hot rows
+    exec::Task kernel;
+    kernel.kind = exec::TaskKind::kKernel;
+    kernel.gpu = 0;
+    kernel.deps = {plan.tasks.size() - 1};
+    kernel.kernel = [sorted, &factors, &workload, out = &outs[d], d, modes,
+                     rank, elem_bytes, nnz = t.nnz(),
+                     width = options.block_width](
+                        const exec::ExecContext& ctx) -> double {
+      const auto& cost = ctx.platform.cost_model(ctx.gpu);
+      const int sm_count = ctx.platform.gpu(ctx.gpu).spec().sm_count;
 
-    DenseMatrix out(t.dim(d), rank);
-    const nnz_t seg = std::max<nnz_t>(
-        options.block_width,
-        (t.nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
-    std::vector<double> block_seconds;
-    for (nnz_t lo = 0; lo < t.nnz(); lo += seg) {
-      const nnz_t hi = std::min<nnz_t>(t.nnz(), lo + seg);
-      auto stats = run_ec_block(sorted, lo, hi, d, factors, out,
-                                BlockOrder::kOutputSorted);
-      stats.block_width = static_cast<std::size_t>(options.block_width);
-      block_seconds.push_back(cost.ec_block_seconds(stats, profile));
-    }
-    gpu.advance(sim::Phase::kCompute,
-                platform.kernel_launch_seconds() +
-                    sim::grid_makespan(block_seconds, sm_count));
-    if (options.collect_outputs) result.outputs.push_back(std::move(out));
+      sim::KernelProfile profile;
+      profile.coord_bytes_per_nnz = elem_bytes;
+      profile.factor_read_efficiency = sim::factor_read_efficiency(
+          workload.full_dims, rank, d, ctx.platform.config().gpu.l2_bytes,
+          kFlycooLocality);
+      profile.output_write_efficiency = 1.0;  // sorted: amortised over runs
+      profile.atomic_scale = 1.0;             // runs absorb the hot rows
+
+      const nnz_t seg = std::max<nnz_t>(
+          width, (nnz + sm_count - 1) / static_cast<nnz_t>(sm_count));
+      std::vector<double> block_seconds;
+      for (nnz_t lo = 0; lo < nnz; lo += seg) {
+        const nnz_t hi = std::min<nnz_t>(nnz, lo + seg);
+        auto stats = run_ec_block(*sorted, lo, hi, d, factors, *out,
+                                  BlockOrder::kOutputSorted);
+        stats.block_width = static_cast<std::size_t>(width);
+        block_seconds.push_back(cost.ec_block_seconds(stats, profile));
+      }
+      return ctx.platform.kernel_launch_seconds() +
+             sim::grid_makespan(block_seconds, sm_count);
+    };
+    plan.tasks.push_back(std::move(kernel));
+  }
+
+  exec::PlanExecutor(platform).run(plan);
+  if (options.collect_outputs) {
+    for (auto& out : outs) result.outputs.push_back(std::move(out));
   }
 
   measure.finish(result);

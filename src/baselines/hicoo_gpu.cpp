@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "exec/plan.hpp"
 #include "formats/hicoo.hpp"
 #include "formats/memory_model.hpp"
 #include "sim/executor.hpp"
@@ -57,9 +58,6 @@ BaselineResult run_hicoo_variant(const HicooVariant& variant,
 
   const std::size_t modes = t.num_modes();
   const std::size_t rank = factors.rank();
-  auto& gpu = platform.gpu(0);
-  const auto& cost = platform.gpu_cost_model();
-  const int sm_count = gpu.spec().sm_count;
 
   // Block edge adapted to the executed tensor: the paper-scale edge is 128
   // (kHicooBlockBits, used for the full-scale memory decision above), but
@@ -78,76 +76,99 @@ BaselineResult run_hicoo_variant(const HicooVariant& variant,
 
   const detail::Measure measure(platform);
 
+  // One sequential lane on GPU 0, one grid per mode. The format is
+  // device-resident (its feasibility was decided above), so the plan has
+  // no transfer tasks — each kernel runs the real HiCOO traversal and
+  // prices its blocks (superblock-merged or stock per-block).
+  std::vector<DenseMatrix> outs;
+  outs.reserve(modes);
+  for (std::size_t d = 0; d < modes; ++d) outs.emplace_back(t.dim(d), rank);
+
+  exec::Plan plan;
+  plan.scheduler = variant.name;
   for (std::size_t d = 0; d < modes; ++d) {
-    DenseMatrix out(t.dim(d), rank);
-    std::vector<formats::HicooTensor::BlockExecStats> stats;
-    hicoo.mttkrp(factors, d, out, &stats);
+    exec::Task kernel;
+    kernel.kind = exec::TaskKind::kKernel;
+    kernel.gpu = 0;
+    kernel.kernel = [&hicoo, &factors, &workload, &variant,
+                     &header_bytes_per_block, out = &outs[d], d, modes, rank,
+                     width_nnz = options.block_width](
+                        const exec::ExecContext& ctx) -> double {
+      const auto& cost = ctx.platform.cost_model(ctx.gpu);
+      const int sm_count = ctx.platform.gpu(ctx.gpu).spec().sm_count;
+      std::vector<formats::HicooTensor::BlockExecStats> stats;
+      hicoo.mttkrp(factors, d, *out, &stats);
 
-    sim::KernelProfile profile;
-    profile.coord_bytes_per_nnz =
-        static_cast<double>(modes) + sizeof(value_t);
-    profile.factor_read_efficiency = sim::factor_read_efficiency(
-        workload.full_dims, rank, d, platform.config().gpu.l2_bytes,
-        variant.locality);
-    profile.output_write_efficiency = variant.write_efficiency;
-    profile.atomic_scale = 1.0;
+      sim::KernelProfile profile;
+      profile.coord_bytes_per_nnz =
+          static_cast<double>(modes) + sizeof(value_t);
+      profile.factor_read_efficiency = sim::factor_read_efficiency(
+          workload.full_dims, rank, d, ctx.platform.config().gpu.l2_bytes,
+          variant.locality);
+      profile.output_write_efficiency = variant.write_efficiency;
+      profile.atomic_scale = 1.0;
 
-    std::vector<double> block_seconds;
-    const double width = static_cast<double>(options.block_width);
-    if (variant.superblocks) {
-      // Merge consecutive blocks until a threadblock has a full tile of
-      // work; headers still cost one read each.
-      const nnz_t target = std::max<nnz_t>(
-          options.block_width,
-          (hicoo.nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
-      sim::EcBlockStats merged;
-      merged.modes = modes;
-      merged.rank = rank;
-      merged.block_width = static_cast<std::size_t>(width);
-      double headers = 0.0;
-      for (const auto& b : stats) {
-        merged.nnz += b.nnz;
-        merged.output_runs += b.output_runs;
-        merged.max_run = std::max(merged.max_run, b.max_run);
-        merged.max_multiplicity =
-            std::max(merged.max_multiplicity, b.max_multiplicity);
-        headers += header_bytes_per_block;
-        if (merged.nnz >= target) {
+      std::vector<double> block_seconds;
+      const double width = static_cast<double>(width_nnz);
+      if (variant.superblocks) {
+        // Merge consecutive blocks until a threadblock has a full tile of
+        // work; headers still cost one read each.
+        const nnz_t target = std::max<nnz_t>(
+            width_nnz,
+            (hicoo.nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
+        sim::EcBlockStats merged;
+        merged.modes = modes;
+        merged.rank = rank;
+        merged.block_width = static_cast<std::size_t>(width);
+        double headers = 0.0;
+        for (const auto& b : stats) {
+          merged.nnz += b.nnz;
+          merged.output_runs += b.output_runs;
+          merged.max_run = std::max(merged.max_run, b.max_run);
+          merged.max_multiplicity =
+              std::max(merged.max_multiplicity, b.max_multiplicity);
+          headers += header_bytes_per_block;
+          if (merged.nnz >= target) {
+            auto p = profile;
+            p.coord_bytes_per_nnz +=
+                headers / static_cast<double>(merged.nnz);
+            block_seconds.push_back(cost.ec_block_seconds(merged, p));
+            merged = sim::EcBlockStats{};
+            merged.modes = modes;
+            merged.rank = rank;
+            merged.block_width = static_cast<std::size_t>(width);
+            headers = 0.0;
+          }
+        }
+        if (merged.nnz > 0) {
+          auto p = profile;
+          p.coord_bytes_per_nnz += headers / static_cast<double>(merged.nnz);
+          block_seconds.push_back(cost.ec_block_seconds(merged, p));
+        }
+      } else {
+        // Stock ParTI: one threadblock per HiCOO block. Tiny blocks leave
+        // the SM underutilised, captured by the threadblock-width model.
+        for (const auto& b : stats) {
+          auto s = to_ec_stats(b, modes, rank,
+                               static_cast<std::size_t>(width_nnz));
+          // A block with fewer nonzeros than the tile width wastes lanes.
+          s.block_width = static_cast<std::size_t>(
+              std::min<nnz_t>(width_nnz, std::max<nnz_t>(1, b.nnz)));
           auto p = profile;
           p.coord_bytes_per_nnz +=
-              headers / static_cast<double>(merged.nnz);
-          block_seconds.push_back(cost.ec_block_seconds(merged, p));
-          merged = sim::EcBlockStats{};
-          merged.modes = modes;
-          merged.rank = rank;
-          merged.block_width = static_cast<std::size_t>(width);
-          headers = 0.0;
+              header_bytes_per_block / static_cast<double>(b.nnz);
+          block_seconds.push_back(cost.ec_block_seconds(s, p));
         }
       }
-      if (merged.nnz > 0) {
-        auto p = profile;
-        p.coord_bytes_per_nnz += headers / static_cast<double>(merged.nnz);
-        block_seconds.push_back(cost.ec_block_seconds(merged, p));
-      }
-    } else {
-      // Stock ParTI: one threadblock per HiCOO block. Tiny blocks leave
-      // the SM underutilised, captured by the threadblock-width model.
-      for (const auto& b : stats) {
-        auto s = to_ec_stats(b, modes, rank,
-                             static_cast<std::size_t>(options.block_width));
-        // A block with fewer nonzeros than the tile width wastes lanes.
-        s.block_width = static_cast<std::size_t>(
-            std::min<nnz_t>(options.block_width, std::max<nnz_t>(1, b.nnz)));
-        auto p = profile;
-        p.coord_bytes_per_nnz +=
-            header_bytes_per_block / static_cast<double>(b.nnz);
-        block_seconds.push_back(cost.ec_block_seconds(s, p));
-      }
-    }
-    gpu.advance(sim::Phase::kCompute,
-                platform.kernel_launch_seconds() +
-                    sim::grid_makespan(block_seconds, sm_count));
-    if (options.collect_outputs) result.outputs.push_back(std::move(out));
+      return ctx.platform.kernel_launch_seconds() +
+             sim::grid_makespan(block_seconds, sm_count);
+    };
+    plan.tasks.push_back(std::move(kernel));
+  }
+
+  exec::PlanExecutor(platform).run(plan);
+  if (options.collect_outputs) {
+    for (auto& out : outs) result.outputs.push_back(std::move(out));
   }
 
   measure.finish(result);

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <vector>
 
+#include "exec/plan.hpp"
 #include "formats/csf.hpp"
 #include "formats/memory_model.hpp"
 #include "sim/executor.hpp"
@@ -57,10 +58,6 @@ BaselineResult run_mmcsf_gpu(sim::Platform& platform, const CooTensor& t,
 
   const std::size_t modes = t.num_modes();
   const std::size_t rank = factors.rank();
-  auto& gpu = platform.gpu(0);
-  const auto& cost = platform.gpu_cost_model();
-  const int sm_count = gpu.spec().sm_count;
-
   // Mode-rooted trees, built in preprocessing (resident across modes, so
   // no per-iteration H2D — only the kernels are timed, like the paper).
   std::vector<formats::CsfTensor> trees;
@@ -75,43 +72,63 @@ BaselineResult run_mmcsf_gpu(sim::Platform& platform, const CooTensor& t,
 
   const detail::Measure measure(platform);
 
+  // One sequential lane on GPU 0, one grid per mode-rooted tree; the
+  // trees are device-resident, so the plan is kernels only.
+  std::vector<DenseMatrix> outs;
+  outs.reserve(modes);
+  for (std::size_t d = 0; d < modes; ++d) outs.emplace_back(t.dim(d), rank);
+
+  exec::Plan plan;
+  plan.scheduler = "mm-csf";
   for (std::size_t d = 0; d < modes; ++d) {
-    DenseMatrix out(t.dim(d), rank);
-    std::vector<formats::CsfTensor::SliceStats> slices;
-    trees[d].mttkrp_root(factors, out, &slices);
+    exec::Task kernel;
+    kernel.kind = exec::TaskKind::kKernel;
+    kernel.gpu = 0;
+    kernel.kernel = [&trees, &factors, &workload, out = &outs[d], d, rank,
+                     width = options.block_width](
+                        const exec::ExecContext& ctx) -> double {
+      const auto& cost = ctx.platform.cost_model(ctx.gpu);
+      const int sm_count = ctx.platform.gpu(ctx.gpu).spec().sm_count;
+      std::vector<formats::CsfTensor::SliceStats> slices;
+      trees[d].mttkrp_root(factors, *out, &slices);
 
-    const double read_eff = sim::factor_read_efficiency(
-        workload.full_dims, rank, d, platform.config().gpu.l2_bytes,
-        // Fiber-level reuse: the upper-level rows are loaded once per
-        // fiber instead of once per nonzero; charged per fiber above, so
-        // only a locality bonus remains here.
-        0.85);
+      const double read_eff = sim::factor_read_efficiency(
+          workload.full_dims, rank, d, ctx.platform.config().gpu.l2_bytes,
+          // Fiber-level reuse: the upper-level rows are loaded once per
+          // fiber instead of once per nonzero; charged per fiber above, so
+          // only a locality bonus remains here.
+          0.85);
 
-    // Group consecutive root slices into threadblocks with roughly equal
-    // leaf counts (MM-CSF's load-balanced fiber scheduling).
-    const nnz_t target = std::max<nnz_t>(
-        options.block_width,
-        (trees[d].nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
-    std::vector<double> block_seconds;
-    nnz_t leaves = 0, fibers = 0, roots = 0;
-    for (const auto& s : slices) {
-      leaves += s.leaves;
-      fibers += s.fibers;
-      ++roots;
-      if (leaves >= target) {
+      // Group consecutive root slices into threadblocks with roughly equal
+      // leaf counts (MM-CSF's load-balanced fiber scheduling).
+      const nnz_t target = std::max<nnz_t>(
+          width,
+          (trees[d].nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
+      std::vector<double> block_seconds;
+      nnz_t leaves = 0, fibers = 0, roots = 0;
+      for (const auto& s : slices) {
+        leaves += s.leaves;
+        fibers += s.fibers;
+        ++roots;
+        if (leaves >= target) {
+          block_seconds.push_back(
+              csf_group_seconds(cost, leaves, fibers, roots, rank, read_eff));
+          leaves = fibers = roots = 0;
+        }
+      }
+      if (roots > 0) {
         block_seconds.push_back(
             csf_group_seconds(cost, leaves, fibers, roots, rank, read_eff));
-        leaves = fibers = roots = 0;
       }
-    }
-    if (roots > 0) {
-      block_seconds.push_back(
-          csf_group_seconds(cost, leaves, fibers, roots, rank, read_eff));
-    }
-    gpu.advance(sim::Phase::kCompute,
-                platform.kernel_launch_seconds() +
-                    sim::grid_makespan(block_seconds, sm_count));
-    if (options.collect_outputs) result.outputs.push_back(std::move(out));
+      return ctx.platform.kernel_launch_seconds() +
+             sim::grid_makespan(block_seconds, sm_count);
+    };
+    plan.tasks.push_back(std::move(kernel));
+  }
+
+  exec::PlanExecutor(platform).run(plan);
+  if (options.collect_outputs) {
+    for (auto& out : outs) result.outputs.push_back(std::move(out));
   }
 
   measure.finish(result);

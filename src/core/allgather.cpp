@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace amped {
 
@@ -12,6 +13,14 @@ std::string to_string(AllGatherAlgo algo) {
     case AllGatherAlgo::kHostStaged: return "host-staged";
   }
   return "?";
+}
+
+AllGatherAlgo parse_allgather(const std::string& name) {
+  if (name == "ring") return AllGatherAlgo::kRing;
+  if (name == "direct") return AllGatherAlgo::kDirect;
+  if (name == "host-staged") return AllGatherAlgo::kHostStaged;
+  throw std::invalid_argument("unknown all-gather algorithm \"" + name +
+                              "\" (expected ring, direct, or host-staged)");
 }
 
 namespace {

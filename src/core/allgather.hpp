@@ -22,6 +22,9 @@ namespace amped {
 enum class AllGatherAlgo { kRing, kDirect, kHostStaged };
 
 std::string to_string(AllGatherAlgo algo);
+// Parses the names produced by to_string; throws std::invalid_argument
+// listing the accepted names on a typo.
+AllGatherAlgo parse_allgather(const std::string& name);
 
 struct AllGatherReport {
   double seconds = 0.0;          // platform makespan growth

@@ -2,26 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
-#include <exception>
-#include <memory>
-#include <numeric>
-#include <queue>
 
-#include "core/ec_kernel.hpp"
-#include "io/shard_stream.hpp"
-#include "sim/executor.hpp"
-#include "util/stats.hpp"
-#include "util/thread_pool.hpp"
+#include "exec/plan.hpp"
+#include "exec/scheduler.hpp"
 
 namespace amped {
 
-namespace {
-
-sim::KernelProfile resolve_profile(const MttkrpOptions& options,
-                                   const AmpedTensor& tensor,
-                                   std::size_t output_mode,
-                                   const sim::Platform& platform,
-                                   std::size_t rank) {
+sim::KernelProfile resolve_mttkrp_profile(const MttkrpOptions& options,
+                                          const AmpedTensor& tensor,
+                                          std::size_t output_mode,
+                                          const sim::Platform& platform,
+                                          std::size_t rank) {
   sim::KernelProfile p = options.profile;
   const std::size_t modes = tensor.num_modes();
   if (p.coord_bytes_per_nnz <= 0.0) {
@@ -40,153 +31,17 @@ sim::KernelProfile resolve_profile(const MttkrpOptions& options,
   return p;
 }
 
-// Simulated costs of one shard on one GPU. prepare_shard performs the
-// real arithmetic and cost evaluation without touching device clocks, so
-// callers can apply either sequential or pipelined streaming semantics.
-struct ShardCost {
-  std::uint64_t payload = 0;  // COO bytes streamed
-  double h2d = 0.0;           // transfer seconds
-  double ec = 0.0;            // grid execution seconds (incl. launch)
-};
-
-// `view` backs the shard's elements: the resident mode copy itself, or a
-// stream buffer holding exactly this shard's range when the copy is
-// spilled. Either way element n of the sorted copy lives at view.data
-// index n - view.base, so both sources run the same arithmetic in the
-// same order (bit-identical outputs).
-ShardCost prepare_shard(sim::Platform& platform, int gpu,
-                        const AmpedTensor::ModeCopy& copy, const Shard& shard,
-                        const io::ShardStreamer::View& view,
-                        const FactorSet& factors, DenseMatrix& out,
-                        const MttkrpOptions& options,
-                        const sim::KernelProfile& profile) {
-  const auto& device = platform.gpu(gpu);
-  ShardCost cost;
-  cost.payload = shard.nnz() * view.data->bytes_per_nnz();
-  cost.h2d = platform.h2d_seconds(cost.payload);
-
-  const int sm_count = device.spec().sm_count;
-  nnz_t isp_size = options.isp_size;
-  if (isp_size == 0) {
-    // Paper §3.2: each shard yields ~g ISPs, one per SM.
-    isp_size = std::max<nnz_t>(options.block_width,
-                               (shard.nnz() + sm_count - 1) /
-                                   static_cast<nnz_t>(sm_count));
-  }
-
-  const nnz_t shard_base = shard.nnz_begin - view.base;
-  std::vector<double> block_seconds;
-  for (auto [lo, hi] : split_isps(shard, isp_size)) {
-    // Mode copies are output-sorted, so the sorted stats fast path holds.
-    auto stats = run_ec_block(*view.data, shard_base + lo, shard_base + hi,
-                              copy.partition.mode, factors, out,
-                              BlockOrder::kOutputSorted);
-    stats.block_width = static_cast<std::size_t>(options.block_width);
-    block_seconds.push_back(
-        platform.cost_model(gpu).ec_block_seconds(stats, profile));
-  }
-  cost.ec = platform.kernel_launch_seconds() +
-            sim::grid_makespan(block_seconds, sm_count);
-  return cost;
-}
-
-// Builds the shard fetcher for one GPU's execution order: a pass-through
-// over the resident copy, or a double-buffered disk stream when the mode
-// copy is spilled.
-std::unique_ptr<io::ShardStreamer> make_streamer(
-    const AmpedTensor::ModeCopy& copy, std::span<const std::size_t> ids) {
-  if (!copy.spilled()) {
-    return std::make_unique<io::ShardStreamer>(copy.tensor);
-  }
-  std::vector<std::pair<nnz_t, nnz_t>> ranges;
-  ranges.reserve(ids.size());
-  for (std::size_t id : ids) {
-    const auto& shard = copy.partition.shards[id];
-    ranges.emplace_back(shard.nnz_begin, shard.nnz_end);
-  }
-  return std::make_unique<io::ShardStreamer>(*copy.spill, std::move(ranges));
-}
-
-// Executes one shard with sequential (non-overlapped) streaming: H2D of
-// the payload, then the grid. Returns the EC seconds charged.
-double execute_shard(sim::Platform& platform, int gpu,
-                     const AmpedTensor::ModeCopy& copy, const Shard& shard,
-                     const io::ShardStreamer::View& view,
-                     const FactorSet& factors, DenseMatrix& out,
-                     const MttkrpOptions& options,
-                     const sim::KernelProfile& profile) {
-  auto& device = platform.gpu(gpu);
-  const ShardCost cost =
-      prepare_shard(platform, gpu, copy, shard, view, factors, out, options,
-                    profile);
-  device.alloc(cost.payload);
-  platform.h2d(gpu, cost.payload);
-  std::string label;
-  if (device.tracing()) {
-    label = "grid mode" + std::to_string(copy.partition.mode) + " idx[" +
-            std::to_string(shard.index_begin) + "," +
-            std::to_string(shard.index_end) + ")";
-  }
-  device.advance(sim::Phase::kCompute, cost.ec, std::move(label));
-  device.free(cost.payload);
-  return cost.ec;
-}
-
-// Executes a GPU's shard list with double-buffered streaming: the copy
-// engine fetches shard i+1 while the SMs run shard i; a grid may not
-// start before its shard has landed. Charges the device the compute time
-// plus only the *exposed* (non-overlapped) transfer time.
-double execute_pipelined(sim::Platform& platform, int gpu,
-                         const AmpedTensor::ModeCopy& copy,
-                         std::span<const std::size_t> shard_ids,
-                         io::ShardStreamer& streamer,
-                         const FactorSet& factors, DenseMatrix& out,
-                         const MttkrpOptions& options,
-                         const sim::KernelProfile& profile,
-                         double* ec_total_out) {
-  auto& device = platform.gpu(gpu);
-  const double start = device.clock();
-  double copy_clock = start;
-  double compute_clock = start;
-  double ec_total = 0.0;
-  for (std::size_t pos = 0; pos < shard_ids.size(); ++pos) {
-    const auto& shard = copy.partition.shards[shard_ids[pos]];
-    const auto view = streamer.acquire(pos);
-    const ShardCost cost = prepare_shard(platform, gpu, copy, shard, view,
-                                         factors, out, options, profile);
-    const double landed = copy_clock + cost.h2d;
-    copy_clock = landed;
-    compute_clock = std::max(compute_clock, landed) + cost.ec;
-    ec_total += cost.ec;
-  }
-  const double finish = std::max(copy_clock, compute_clock);
-  // Exposed transfer = whatever the compute could not hide.
-  const double exposed_h2d =
-      std::max(0.0, finish - start - ec_total);
-  device.advance(sim::Phase::kHostToDevice, exposed_h2d);
-  device.advance(sim::Phase::kCompute, ec_total);
-  if (ec_total_out) *ec_total_out = ec_total;
-  return finish - start;
-}
-
-}  // namespace
-
 ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
                               const AmpedTensor& tensor,
                               const FactorSet& factors, std::size_t mode,
                               DenseMatrix& out, const MttkrpOptions& options) {
   const int m = platform.num_gpus();
-  const auto& copy = tensor.mode_copy(mode);
-  const auto& partition = copy.partition;
-  const auto profile =
-      resolve_profile(options, tensor, mode, platform, factors.rank());
 
   assert(out.rows() == tensor.dims()[mode] && out.cols() == factors.rank());
   out.set_zero();
 
   ModeBreakdown bd;
   bd.mode = mode;
-  bd.per_gpu_compute.assign(static_cast<std::size_t>(m), 0.0);
 
   platform.barrier();
   const double t0 = platform.makespan();
@@ -196,120 +51,16 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
   const std::uint64_t factor_bytes = factors.total_bytes();
   for (int g = 0; g < m; ++g) platform.gpu(g).alloc(factor_bytes);
 
-  // Rows of the output factor matrix owned by each GPU, for the
-  // all-gather partition sizes.
-  std::vector<std::uint64_t> owned_rows(static_cast<std::size_t>(m), 0);
-
-  if (options.policy == SchedulingPolicy::kDynamicQueue) {
-    // Shards dispatched in index order to the earliest-idle GPU — the
-    // dynamic load-balancing scheme. The simulated clock *is* the idle
-    // signal, so this reproduces a work queue exactly.
-    using Entry = std::pair<double, int>;  // (clock, gpu)
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> idle;
-    for (int g = 0; g < m; ++g) idle.push({platform.gpu(g).clock(), g});
-    // One streamer over the whole dispatch order: shards leave the queue
-    // in index order regardless of which GPU takes them.
-    std::vector<std::size_t> all_ids(partition.shards.size());
-    std::iota(all_ids.begin(), all_ids.end(), std::size_t{0});
-    auto streamer = make_streamer(copy, all_ids);
-    for (std::size_t s = 0; s < partition.shards.size(); ++s) {
-      const auto& shard = partition.shards[s];
-      auto [clock, g] = idle.top();
-      idle.pop();
-      const double ec =
-          execute_shard(platform, g, copy, shard, streamer->acquire(s),
-                        factors, out, options, profile);
-      bd.per_gpu_compute[static_cast<std::size_t>(g)] += ec;
-      owned_rows[static_cast<std::size_t>(g)] += shard.index_count();
-      idle.push({platform.gpu(g).clock(), g});
-    }
-  } else {
-    ShardAssignment assignment;
-    if (options.policy == SchedulingPolicy::kWeightedStatic) {
-      // Weight each GPU by the inverse of its full per-nonzero cost:
-      // streaming the element over the (device-independent) host link
-      // plus executing it at the device's bandwidth. Weighting by device
-      // bandwidth alone overloads fast GPUs whenever H2D dominates.
-      const double bytes_per_elem =
-          static_cast<double>(tensor.bytes_per_nnz());
-      const double h2d_per_byte =
-          (platform.h2d_seconds(1u << 30) - platform.h2d_seconds(0)) /
-          static_cast<double>(1u << 30);
-      std::vector<double> weights(static_cast<std::size_t>(m));
-      for (int g = 0; g < m; ++g) {
-        const auto& cm = platform.cost_model(g);
-        const double ec_per_elem =
-            cm.bytes_per_nnz(tensor.num_modes(), factors.rank(), profile) /
-            cm.spec().mem_bandwidth;
-        weights[static_cast<std::size_t>(g)] =
-            1.0 / (bytes_per_elem * h2d_per_byte + ec_per_elem);
-      }
-      assignment = assign_shards_weighted(partition, weights);
-    } else {
-      assignment = assign_shards(partition, m, options.policy);
-    }
-    // Static assignments execute each GPU's shard list on the host thread
-    // pool: shards of one mode own disjoint output index ranges, each
-    // GPU's simulated state (clock, timeline, memory meter) is private,
-    // and cost queries on Platform are const — so per-GPU execution is
-    // embarrassingly parallel and bit-identical to the serial loop (the
-    // per-GPU element order is unchanged). Tracing serialises: the shared
-    // TraceLog is not thread-safe and event order should stay stable.
-    auto run_gpu = [&](std::size_t gs) {
-      const int g = static_cast<int>(gs);
-      const auto& ids = assignment.per_gpu[gs];
-      // Per-GPU streamer: each GPU's shard list fetches independently
-      // (its own pair of read-ahead buffers when the copy is spilled).
-      auto streamer = make_streamer(copy, ids);
-      if (options.pipelined_streaming) {
-        double ec_total = 0.0;
-        execute_pipelined(platform, g, copy, ids, *streamer, factors, out,
-                          options, profile, &ec_total);
-        bd.per_gpu_compute[gs] += ec_total;
-      } else {
-        for (std::size_t pos = 0; pos < ids.size(); ++pos) {
-          const double ec =
-              execute_shard(platform, g, copy, partition.shards[ids[pos]],
-                            streamer->acquire(pos), factors, out, options,
-                            profile);
-          bd.per_gpu_compute[gs] += ec;
-        }
-      }
-      for (std::size_t id : ids) {
-        owned_rows[gs] += partition.shards[id].index_count();
-      }
-    };
-    const bool tracing = platform.gpu(0).tracing();
-    if (m > 1 && !tracing && host_parallelism() > 1) {
-      std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
-      global_thread_pool().parallel_for(
-          static_cast<std::size_t>(m), [&](std::size_t g) {
-            try {
-              run_gpu(g);
-            } catch (...) {
-              errors[g] = std::current_exception();
-            }
-          });
-      for (auto& e : errors) {
-        if (e) std::rethrow_exception(e);
-      }
-    } else {
-      for (std::size_t g = 0; g < static_cast<std::size_t>(m); ++g) {
-        run_gpu(g);
-      }
-    }
-  }
-
-  platform.barrier();  // Algorithm 1 line 9: inter-GPU barrier
-
-  // Algorithm 1 line 11: all-gather the updated output factor rows.
-  std::vector<std::uint64_t> part_bytes(static_cast<std::size_t>(m), 0);
-  for (int g = 0; g < m; ++g) {
-    part_bytes[static_cast<std::size_t>(g)] =
-        owned_rows[static_cast<std::size_t>(g)] * factors.rank() *
-        sizeof(value_t);
-  }
-  allgather_factor_rows(platform, part_bytes, options.allgather);
+  // Lower this mode into a plan under the selected policy, then run it:
+  // shard streaming, grid execution, the inter-GPU barrier, and the
+  // all-gather are all tasks of the plan (exec/plan.hpp).
+  const exec::ModeLowerInput input{
+      platform, tensor, mode, factors, out, options,
+      resolve_mttkrp_profile(options, tensor, mode, platform,
+                             factors.rank())};
+  exec::Plan plan = exec::make_scheduler(options)->lower(input);
+  exec::PlanExecutor executor(platform);
+  bd.per_gpu_compute = executor.run(plan).per_gpu_compute;
 
   for (int g = 0; g < m; ++g) platform.gpu(g).free(factor_bytes);
 
@@ -349,6 +100,10 @@ MttkrpReport mttkrp_all_modes(sim::Platform& platform,
                               std::vector<DenseMatrix>& outputs,
                               const MttkrpOptions& options) {
   MttkrpReport report;
+  // Sized from the platform, not from what modes report: a mode may
+  // involve fewer GPUs than the platform has (idle devices on a
+  // heterogeneous node under the cost-model scheduler), and the Fig. 8
+  // aggregation must still cover every GPU.
   report.per_gpu_compute.assign(
       static_cast<std::size_t>(platform.num_gpus()), 0.0);
   outputs.clear();

@@ -73,6 +73,17 @@ struct MttkrpReport {
   double communication_fraction() const;
 };
 
+// Resolves the effective kernel profile for one output mode: derives COO
+// coordinate bytes from the mode count and folds the full-scale cache
+// efficiency of this mode's factor reads into the locality multiplier.
+// Shared by the execution engine, its schedulers, and the frozen
+// reference loop so they always price the same kernel.
+sim::KernelProfile resolve_mttkrp_profile(const MttkrpOptions& options,
+                                          const AmpedTensor& tensor,
+                                          std::size_t output_mode,
+                                          const sim::Platform& platform,
+                                          std::size_t rank);
+
 // Computes MTTKRP for a single output mode into `out` (must be
 // dim(mode) x R, zeroed by the callee). Returns the mode's breakdown.
 ModeBreakdown mttkrp_one_mode(sim::Platform& platform,

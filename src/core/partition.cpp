@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 #include <queue>
+#include <stdexcept>
 
 namespace amped {
 
@@ -13,8 +14,27 @@ std::string to_string(SchedulingPolicy policy) {
     case SchedulingPolicy::kDynamicQueue: return "dynamic-queue";
     case SchedulingPolicy::kContiguous: return "contiguous";
     case SchedulingPolicy::kWeightedStatic: return "weighted-static";
+    case SchedulingPolicy::kCostModel: return "cost-model";
   }
   return "?";
+}
+
+SchedulingPolicy parse_policy(const std::string& name) {
+  if (name == "static-greedy" || name == "greedy") {
+    return SchedulingPolicy::kStaticGreedy;
+  }
+  if (name == "dynamic-queue" || name == "dynamic") {
+    return SchedulingPolicy::kDynamicQueue;
+  }
+  if (name == "contiguous") return SchedulingPolicy::kContiguous;
+  if (name == "weighted-static" || name == "weighted") {
+    return SchedulingPolicy::kWeightedStatic;
+  }
+  if (name == "cost-model") return SchedulingPolicy::kCostModel;
+  throw std::invalid_argument(
+      "unknown scheduling policy \"" + name +
+      "\" (expected static-greedy, dynamic-queue, contiguous, "
+      "weighted-static, or cost-model)");
 }
 
 nnz_t ModePartition::total_nnz() const {
@@ -104,6 +124,11 @@ ShardAssignment assign_shards(const ModePartition& partition, int num_gpus,
       std::vector<double> weights(static_cast<std::size_t>(num_gpus), 1.0);
       return assign_shards_weighted(partition, weights);
     }
+    case SchedulingPolicy::kCostModel:
+      // The real lowering needs a Platform for per-device cost estimates
+      // (exec::CostModelScheduler); without one, LPT on nonzero count is
+      // its homogeneous reduction.
+      [[fallthrough]];
     case SchedulingPolicy::kStaticGreedy: {
       // Longest-processing-time-first on nonzero count: classic greedy
       // makespan bound of 4/3 OPT, and in practice within a fraction of a

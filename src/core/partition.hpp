@@ -30,9 +30,16 @@ enum class SchedulingPolicy {
   kContiguous,      // equal count of consecutive shards per GPU (ablation)
   kWeightedStatic,  // LPT on nnz / device-throughput weight: the static
                     // scheme for heterogeneous nodes (paper §6 future work)
+  kCostModel,       // LPT on per-shard, per-device simulated seconds from
+                    // sim/cost_model — balances heterogeneous GPUs at
+                    // shard granularity (exec::CostModelScheduler)
 };
 
 std::string to_string(SchedulingPolicy policy);
+// Parses the names produced by to_string (plus the short aliases
+// "greedy", "dynamic", "weighted"); throws std::invalid_argument listing
+// the accepted names on a typo.
+SchedulingPolicy parse_policy(const std::string& name);
 
 struct Shard {
   index_t index_begin = 0;  // output-mode index range [begin, end)

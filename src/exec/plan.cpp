@@ -1,0 +1,215 @@
+#include "exec/plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <queue>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace amped::exec {
+
+namespace {
+
+// Trace label of a shard grid, matching the pre-engine loop verbatim so
+// trace consumers (and trace_test) see identical events.
+std::string shard_label(const Task& t) {
+  return "grid mode" + std::to_string(t.mode) + " idx[" +
+         std::to_string(t.index_begin) + "," + std::to_string(t.index_end) +
+         ")";
+}
+
+}  // namespace
+
+ExecReport PlanExecutor::run(Plan& plan) {
+  const int m = platform_.num_gpus();
+  ExecReport report;
+  report.per_gpu_compute.assign(static_cast<std::size_t>(m), 0.0);
+  report.owned_rows.assign(static_cast<std::size_t>(m), 0);
+
+  // Completion time of each lane task, used by pipelined kernels to
+  // synchronise on their H2D dependencies.
+  std::vector<double> finish(plan.tasks.size(), 0.0);
+
+  // Executes tasks `ids` (all belonging to GPU `gpu`) with sequential or
+  // pipelined engine semantics. Lane-local state only: safe to run lanes
+  // of disjoint GPUs concurrently when the plan allows it.
+  auto run_lane = [&](int gpu, const std::vector<std::size_t>& ids) {
+    auto& device = platform_.gpu(gpu);
+    io::ShardStreamer::View view;
+    bool have_view = false;
+    const ExecContext ctx{platform_, gpu, &view};
+    const ExecContext ctx_no_view{platform_, gpu, nullptr};
+
+    if (!plan.pipelined) {
+      for (std::size_t id : ids) {
+        Task& t = plan.tasks[id];
+        switch (t.kind) {
+          case TaskKind::kSpillFetch:
+            view = plan.streamers[t.streamer]->acquire(t.stream_pos);
+            have_view = true;
+            break;
+          case TaskKind::kH2D:
+            if (t.alloc_bytes) device.alloc(t.alloc_bytes);
+            platform_.h2d(gpu, t.transfer_bytes);
+            break;
+          case TaskKind::kD2H:
+            platform_.d2h(gpu, t.transfer_bytes);
+            break;
+          case TaskKind::kKernel: {
+            const double ec = t.kernel(have_view ? ctx : ctx_no_view);
+            std::string label;
+            if (t.labelled && device.tracing()) label = shard_label(t);
+            device.advance(sim::Phase::kCompute, ec, std::move(label));
+            if (t.free_bytes) device.free(t.free_bytes);
+            report.per_gpu_compute[static_cast<std::size_t>(gpu)] += ec;
+            report.owned_rows[static_cast<std::size_t>(gpu)] += t.owned_rows;
+            break;
+          }
+          default:
+            assert(false && "global task inside a lane");
+        }
+        finish[id] = device.clock();
+      }
+      return;
+    }
+
+    // Pipelined: a copy engine and a compute engine share the device
+    // clock's start; the device is charged the compute time plus only the
+    // exposed (non-overlapped) transfer time at lane end.
+    const double start = device.clock();
+    double copy_clock = start;
+    double compute_clock = start;
+    double ec_total = 0.0;
+    for (std::size_t id : ids) {
+      Task& t = plan.tasks[id];
+      switch (t.kind) {
+        case TaskKind::kSpillFetch:
+          view = plan.streamers[t.streamer]->acquire(t.stream_pos);
+          have_view = true;
+          finish[id] = copy_clock;
+          break;
+        case TaskKind::kH2D:
+          copy_clock += platform_.h2d_seconds(t.transfer_bytes);
+          finish[id] = copy_clock;
+          break;
+        case TaskKind::kKernel: {
+          const double ec = t.kernel(have_view ? ctx : ctx_no_view);
+          double landed = compute_clock;
+          for (std::size_t dep : t.deps) {
+            landed = std::max(landed, finish[dep]);
+          }
+          compute_clock = landed + ec;
+          ec_total += ec;
+          finish[id] = compute_clock;
+          report.per_gpu_compute[static_cast<std::size_t>(gpu)] += ec;
+          report.owned_rows[static_cast<std::size_t>(gpu)] += t.owned_rows;
+          break;
+        }
+        default:
+          assert(false && "task kind unsupported in a pipelined lane");
+      }
+    }
+    const double lane_finish = std::max(copy_clock, compute_clock);
+    const double exposed_h2d =
+        std::max(0.0, lane_finish - start - ec_total);
+    device.advance(sim::Phase::kHostToDevice, exposed_h2d);
+    device.advance(sim::Phase::kCompute, ec_total);
+  };
+
+  // Dynamic dispatch: consecutive tasks up to and including a kernel form
+  // one dispatch unit, handed in plan order to the earliest-idle GPU (the
+  // simulated clock is the idle signal — a work queue, exactly).
+  auto run_dynamic = [&](const std::vector<std::size_t>& ids) {
+    using Entry = std::pair<double, int>;  // (clock, gpu)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> idle;
+    for (int g = 0; g < m; ++g) idle.push({platform_.gpu(g).clock(), g});
+    std::vector<std::size_t> unit;
+    for (std::size_t id : ids) {
+      unit.push_back(id);
+      if (plan.tasks[id].kind != TaskKind::kKernel) continue;
+      auto [clock, g] = idle.top();
+      idle.pop();
+      run_lane(g, unit);
+      unit.clear();
+      idle.push({platform_.gpu(g).clock(), g});
+    }
+    assert(unit.empty() && "dynamic plan must end each unit with a kernel");
+  };
+
+  // Flushes a run of lane/dynamic tasks accumulated between global tasks.
+  std::vector<std::size_t> segment;
+  auto flush = [&] {
+    if (segment.empty()) return;
+    if (plan.tasks[segment.front()].gpu == kAnyGpu) {
+      run_dynamic(segment);
+      segment.clear();
+      return;
+    }
+    std::vector<std::vector<std::size_t>> lanes(
+        static_cast<std::size_t>(m));
+    for (std::size_t id : segment) {
+      const int gpu = plan.tasks[id].gpu;
+      assert(gpu >= 0 && gpu < m && "mixed dynamic/static segment");
+      lanes[static_cast<std::size_t>(gpu)].push_back(id);
+    }
+    std::vector<int> active;
+    for (int g = 0; g < m; ++g) {
+      if (!lanes[static_cast<std::size_t>(g)].empty()) active.push_back(g);
+    }
+    const bool tracing = m > 0 && platform_.gpu(0).tracing();
+    if (plan.parallel_lanes && active.size() > 1 && !tracing &&
+        host_parallelism() > 1) {
+      // Lanes of an AMPED-style plan own disjoint output rows and private
+      // device state, so they run concurrently on the host pool —
+      // bit-identical to the serial order (see thread_pool_test).
+      std::vector<std::exception_ptr> errors(active.size());
+      global_thread_pool().parallel_for(active.size(), [&](std::size_t i) {
+        try {
+          const int g = active[i];
+          run_lane(g, lanes[static_cast<std::size_t>(g)]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+      for (auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    } else {
+      for (int g : active) run_lane(g, lanes[static_cast<std::size_t>(g)]);
+    }
+    segment.clear();
+  };
+
+  for (std::size_t id = 0; id < plan.tasks.size(); ++id) {
+    Task& t = plan.tasks[id];
+    switch (t.kind) {
+      case TaskKind::kBarrier:
+        flush();
+        platform_.barrier();
+        break;
+      case TaskKind::kAllGather: {
+        flush();
+        std::vector<std::uint64_t> part_bytes(static_cast<std::size_t>(m),
+                                              0);
+        for (int g = 0; g < m; ++g) {
+          part_bytes[static_cast<std::size_t>(g)] =
+              report.owned_rows[static_cast<std::size_t>(g)] * t.row_bytes;
+        }
+        allgather_factor_rows(platform_, part_bytes, t.allgather);
+        break;
+      }
+      case TaskKind::kHostOp:
+        flush();
+        t.host_op(platform_);
+        break;
+      default:
+        segment.push_back(id);
+    }
+  }
+  flush();
+  return report;
+}
+
+}  // namespace amped::exec

@@ -1,0 +1,142 @@
+// Execution-plan layer: one task IR + one executor for every execution
+// strategy in the repo.
+//
+// Before this layer, AMPED's MTTKRP hand-rolled three streaming loops
+// (static, dynamic-queue, pipelined) and every baseline runner in
+// src/baselines/ reimplemented its own stream-and-compute loop against
+// sim::Platform. A Plan expresses all of them in one vocabulary: a list
+// of Tasks — SpillFetch (host read-ahead hand-off), H2D, Kernel, D2H,
+// Barrier, AllGather, HostOp — with explicit dependencies, grouped into
+// per-GPU lanes. PlanExecutor is the only code that touches device
+// clocks: it runs any plan's real arithmetic (through the kernel
+// closures) and charges simulated time exactly as the bespoke loops did,
+// so outputs AND simulated times are bit-identical to the pre-engine
+// implementations (asserted in tests/exec_plan_test.cpp against the
+// frozen reference in exec/reference_loop.hpp).
+//
+// Lane semantics (chosen per Plan):
+//  - sequential: one engine per GPU; H2D and Kernel interleave on the
+//    device clock (the paper's additive stream-then-compute, Fig. 7).
+//  - pipelined: two engines per GPU (copy + compute); a kernel may not
+//    start before its H2D dependency lands, and only the *exposed*
+//    (non-overlapped) transfer time is charged (ablation A6).
+//  - dynamic: tasks carry gpu == kAnyGpu and are dispatched in plan
+//    order to the earliest-idle GPU — the simulated clock is the work
+//    queue, reproducing dynamic load balancing exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allgather.hpp"
+#include "io/shard_stream.hpp"
+#include "sim/platform.hpp"
+#include "tensor/types.hpp"
+
+namespace amped::exec {
+
+enum class TaskKind {
+  kSpillFetch,  // acquire the next shard view from a ShardStreamer
+  kH2D,         // host -> device payload transfer (copy engine)
+  kKernel,      // one grid: real arithmetic + simulated grid seconds
+  kD2H,         // device -> host transfer (partial results)
+  kBarrier,     // inter-GPU barrier
+  kAllGather,   // factor-row exchange sized from runtime row ownership
+  kHostOp,      // host-side step (e.g. the equal-nnz CPU merge)
+};
+
+// Tasks with this GPU id are dispatched at run time to the earliest-idle
+// GPU (dynamic-queue scheduling); all other tasks name their lane.
+inline constexpr int kAnyGpu = -1;
+
+// Runtime context handed to kernel closures. `view` is the shard view
+// produced by the lane's most recent SpillFetch task (nullptr when the
+// plan streams nothing).
+struct ExecContext {
+  sim::Platform& platform;
+  int gpu = 0;
+  const io::ShardStreamer::View* view = nullptr;
+};
+
+// Performs the real arithmetic of one grid and returns the simulated
+// seconds the grid occupies the device (including launch overhead).
+using KernelFn = std::function<double(const ExecContext&)>;
+
+struct Task {
+  TaskKind kind = TaskKind::kKernel;
+  int gpu = kAnyGpu;
+  // Explicit dependencies (indices into Plan::tasks). Lane program order
+  // is an implicit dependency on each engine; `deps` carries the
+  // cross-engine edges (kernel <- its H2D, H2D <- its SpillFetch) that
+  // the pipelined interpreter synchronises on.
+  std::vector<std::size_t> deps;
+
+  // kSpillFetch: acquire position `stream_pos` of plan.streamers[streamer].
+  std::size_t streamer = 0;
+  std::size_t stream_pos = 0;
+
+  // kH2D / kD2H: link payload; alloc_bytes is charged to the device
+  // memory meter before the transfer (0 = no allocation tracked).
+  std::uint64_t transfer_bytes = 0;
+  std::uint64_t alloc_bytes = 0;
+
+  // kKernel.
+  KernelFn kernel;
+  std::uint64_t free_bytes = 0;  // device memory released after the grid
+  index_t owned_rows = 0;        // output rows this grid updates (AllGather sizing)
+  // Trace metadata: when `labelled`, the executor emits the shard label
+  // "grid mode<mode> idx[begin,end)" on the compute event (built only
+  // when a trace is attached, like the pre-engine loop did).
+  bool labelled = false;
+  std::size_t mode = 0;
+  index_t index_begin = 0;
+  index_t index_end = 0;
+
+  // kAllGather: part_bytes[g] = rows owned by GPU g so far * row_bytes.
+  AllGatherAlgo allgather = AllGatherAlgo::kRing;
+  std::uint64_t row_bytes = 0;
+
+  // kHostOp.
+  std::function<void(sim::Platform&)> host_op;
+};
+
+struct Plan {
+  std::string scheduler;  // name of the scheduler that lowered this plan
+  std::size_t mode = 0;   // output mode (reporting only)
+  // Lane interpretation: sequential (false) or double-buffered (true).
+  bool pipelined = false;
+  // Whether per-GPU lanes may run on the host thread pool. Only safe when
+  // lanes never touch the same output rows (AMPED's shard partition
+  // guarantees this; the equal-nnz chunks do not).
+  bool parallel_lanes = false;
+  std::vector<Task> tasks;
+  // Shard sources owned by the plan; SpillFetch tasks index into this.
+  std::vector<std::unique_ptr<io::ShardStreamer>> streamers;
+};
+
+// What the executor learned while running a plan.
+struct ExecReport {
+  // EC seconds charged per GPU (sized to the platform's GPU count; idle
+  // GPUs report 0.0). Feeds ModeBreakdown::per_gpu_compute.
+  std::vector<double> per_gpu_compute;
+  // Output rows owned per GPU, accumulated from executed kernels.
+  std::vector<std::uint64_t> owned_rows;
+};
+
+// Runs any plan on the platform: per-GPU lanes (parallel when the plan
+// allows and tracing is off), dynamic dispatch for kAnyGpu tasks, and
+// global tasks (barrier / all-gather / host ops) in plan order.
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(sim::Platform& platform) : platform_(platform) {}
+
+  ExecReport run(Plan& plan);
+
+ private:
+  sim::Platform& platform_;
+};
+
+}  // namespace amped::exec

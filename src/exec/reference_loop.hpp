@@ -1,0 +1,36 @@
+// The pre-engine MTTKRP executor, frozen.
+//
+// This is the loop-based implementation core/mttkrp.cpp carried before
+// the execution-plan engine (exec/plan.hpp) replaced it: the static,
+// dynamic-queue, and pipelined streaming loops hand-rolled against
+// sim::Platform. It is kept verbatim for two jobs and must not evolve:
+//
+//  1. Golden-value testing — tests/exec_plan_test.cpp asserts that every
+//     pre-engine policy produces bit-identical outputs AND simulated
+//     times through the plan engine.
+//  2. Overhead tracking — bench_host_throughput's dispatch/ series
+//     compares plan-based against loop-based dispatch wall-clock; CI
+//     fails if the abstraction costs more than 5%.
+//
+// SchedulingPolicy::kCostModel postdates this code; it falls back to the
+// nnz-LPT assignment here (assign_shards) and is not golden-compared.
+#pragma once
+
+#include "core/mttkrp.hpp"
+
+namespace amped::exec {
+
+ModeBreakdown reference_loop_mttkrp_one_mode(sim::Platform& platform,
+                                             const AmpedTensor& tensor,
+                                             const FactorSet& factors,
+                                             std::size_t mode,
+                                             DenseMatrix& out,
+                                             const MttkrpOptions& options);
+
+MttkrpReport reference_loop_mttkrp_all_modes(sim::Platform& platform,
+                                             const AmpedTensor& tensor,
+                                             const FactorSet& factors,
+                                             std::vector<DenseMatrix>& outputs,
+                                             const MttkrpOptions& options);
+
+}  // namespace amped::exec

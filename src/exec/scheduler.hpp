@@ -1,0 +1,61 @@
+// Pluggable schedulers: policy objects that lower one AmpedTensor mode
+// into an executable Plan.
+//
+// A scheduler owns exactly the decision the paper studies — which shard
+// runs where, in what order, under which streaming discipline — and
+// nothing else: task construction, streaming, arithmetic, and clock
+// accounting are shared (exec/plan.hpp). The four pre-engine policies
+// (static-greedy, contiguous, weighted-static, dynamic-queue — each
+// static one optionally pipelined) are reimplemented here with
+// bit-identical outputs and simulated times, plus one new policy the
+// loop-based executor could not express cleanly: kCostModel, which
+// prices every shard on every device with sim/cost_model and balances
+// *seconds*, not nonzeros, across heterogeneous GPUs
+// (sim::PlatformConfig::gpu_overrides).
+//
+// Adding a policy = subclassing Scheduler (~50 lines), not writing a new
+// execution loop.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mttkrp.hpp"
+#include "exec/plan.hpp"
+
+namespace amped::exec {
+
+// Everything a scheduler may consult when lowering one output mode.
+// `platform` is const: schedulers predict costs, only the executor
+// advances clocks. `out` and `factors` are captured by the kernel
+// closures and must outlive the plan's execution.
+struct ModeLowerInput {
+  const sim::Platform& platform;
+  const AmpedTensor& tensor;
+  std::size_t mode;
+  const FactorSet& factors;
+  DenseMatrix& out;
+  const MttkrpOptions& options;
+  sim::KernelProfile profile;  // resolved via resolve_mttkrp_profile
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual Plan lower(const ModeLowerInput& in) const = 0;
+};
+
+// Scheduler for `options.policy` honouring `options.pipelined_streaming`
+// (which applies to the static policies; dynamic dispatch is inherently
+// sequential, as before).
+std::unique_ptr<Scheduler> make_scheduler(const MttkrpOptions& options);
+std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy,
+                                          bool pipelined);
+
+// The cost-model scheduler's per-shard estimate of simulated seconds on
+// one GPU (H2D + grid under that device's roofline). Exposed for tests.
+double estimate_shard_seconds(const ModeLowerInput& in, const Shard& shard,
+                              int gpu);
+
+}  // namespace amped::exec

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "core/mttkrp.hpp"
 #include "io/memory_budget.hpp"
 #include "util/thread_pool.hpp"
 
@@ -77,6 +78,28 @@ void apply_common_flags(const CliArgs& args) {
       std::exit(2);
     }
   }
+}
+
+void apply_common_flags(const CliArgs& args, MttkrpOptions* mttkrp) {
+  apply_common_flags(args);
+  if (!mttkrp) return;
+  // Scheduling knobs reach the execution engine through MttkrpOptions;
+  // exec::make_scheduler turns them into the matching plan scheduler. A
+  // typo exits with a usage error rather than escaping main as an
+  // exception (this helper only runs in CLI binaries).
+  try {
+    if (args.has("policy")) {
+      mttkrp->policy = parse_policy(args.get("policy", ""));
+    }
+    if (args.has("allgather")) {
+      mttkrp->allgather = parse_allgather(args.get("allgather", ""));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+  mttkrp->pipelined_streaming =
+      args.get_bool("pipelined", mttkrp->pipelined_streaming);
 }
 
 }  // namespace amped

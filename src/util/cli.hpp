@@ -33,11 +33,20 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+struct MttkrpOptions;
+
 // Applies the flags every binary understands: `--threads N` overrides the
 // host thread pool size (same effect as the AMPED_THREADS environment
 // variable) and `--memory-budget SIZE` caps tracked host allocations
 // (same as AMPED_MEMORY_BUDGET; "512M"/"2G" suffixes accepted, 0 =
 // unlimited). Flags win when both a flag and its variable are given.
 void apply_common_flags(const CliArgs& args);
+
+// Same, plus the execution-engine knobs written into `*mttkrp`:
+// `--policy NAME` (static-greedy, dynamic-queue, contiguous,
+// weighted-static, cost-model — see parse_policy), `--allgather NAME`
+// (ring, direct, host-staged) and `--pipelined` (double-buffered shard
+// streaming). A typo exits with a usage error listing the valid names.
+void apply_common_flags(const CliArgs& args, MttkrpOptions* mttkrp);
 
 }  // namespace amped

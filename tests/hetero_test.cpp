@@ -75,7 +75,7 @@ TEST(HeteroTest, CorrectnessOnMixedDevices) {
 
   for (auto policy :
        {SchedulingPolicy::kWeightedStatic, SchedulingPolicy::kDynamicQueue,
-        SchedulingPolicy::kStaticGreedy}) {
+        SchedulingPolicy::kStaticGreedy, SchedulingPolicy::kCostModel}) {
     auto platform = hetero_platform();
     MttkrpOptions opt;
     opt.policy = policy;
