@@ -9,6 +9,7 @@ option(AMPED_BUILD_BENCH "Build the paper-figure benchmark binaries in bench/" O
 option(AMPED_BUILD_EXAMPLES "Build the example programs in examples/" ON)
 option(AMPED_WERROR "Treat compiler warnings as errors" OFF)
 option(AMPED_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
+option(AMPED_TSAN "Build with ThreadSanitizer (mutually exclusive with AMPED_SANITIZE)" OFF)
 option(AMPED_ENABLE_OPENMP "Link OpenMP if available (used by util/thread_pool consumers)" OFF)
 option(AMPED_NATIVE_ARCH "Compile for the host CPU (-march=native); the EC kernel's hadamard/accumulate loops vectorise substantially wider with AVX2+" ON)
 
@@ -29,6 +30,10 @@ target_compile_features(amped_options INTERFACE cxx_std_20)
 find_package(Threads REQUIRED)
 target_link_libraries(amped_options INTERFACE Threads::Threads)
 
+if(AMPED_SANITIZE AND AMPED_TSAN)
+  message(FATAL_ERROR "AMPED_SANITIZE (ASan+UBSan) and AMPED_TSAN cannot be combined: the runtimes conflict. Pick one.")
+endif()
+
 if(AMPED_SANITIZE)
   # Global, not per-target: FetchContent-built GoogleTest/Benchmark must be
   # instrumented too, or ASan false-positives on containers crossing the
@@ -37,6 +42,13 @@ if(AMPED_SANITIZE)
     -fno-sanitize-recover=undefined -fno-omit-frame-pointer)
   add_link_options(-fsanitize=address,undefined
     -fno-sanitize-recover=undefined)
+endif()
+
+if(AMPED_TSAN)
+  # Global for the same reason as ASan: GoogleTest must carry the TSan
+  # runtime too, or its synchronisation looks like races to the tool.
+  add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=thread)
 endif()
 
 if(AMPED_NATIVE_ARCH AND CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")

@@ -116,8 +116,19 @@ AmpedTensor AmpedTensor::build_impl(const Input& input,
         // Same accumulation order as the resident path (mode-0 sorted).
         out.values_norm_sq_ = tensor_norm_sq(sorted);
       }
-      copy.spill =
-          std::make_shared<io::SpilledModeCopy>(sorted, d, dir);
+      // The sorted copy is about to leave host memory: scan each shard's
+      // run structure now and persist it in the spill file, so schedulers
+      // can price spilled shards exactly without disk reads later.
+      std::vector<io::ShardRunStatsRecord> stat_records;
+      stat_records.reserve(copy.partition.shards.size());
+      const auto mode_idx = sorted.indices(d);
+      for (const auto& shard : copy.partition.shards) {
+        const auto rs = compute_shard_run_stats(mode_idx, shard);
+        stat_records.push_back({shard.nnz_begin, shard.nnz_end, rs.runs,
+                                rs.max_run});
+      }
+      copy.spill = std::make_shared<io::SpilledModeCopy>(sorted, d, dir,
+                                                         stat_records);
       out.copies_[d] = std::move(copy);
     }
   }

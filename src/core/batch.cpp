@@ -1,0 +1,178 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "exec/compose.hpp"
+#include "exec/scheduler.hpp"
+
+namespace amped {
+
+namespace {
+
+// One workload's contribution to a composed mode step.
+struct ModeItem {
+  const AmpedTensor* tensor = nullptr;
+  const FactorSet* factors = nullptr;
+  DenseMatrix* out = nullptr;
+  std::size_t slot = 0;  // caller-side workload index (scope attribution)
+};
+
+struct StepOutcome {
+  double seconds = 0.0;
+  exec::ComposeInfo info;
+  exec::ExecReport report;
+};
+
+// Lowers every item's mode-`mode` plan, composes them, and runs the
+// merged plan — the batched analogue of mttkrp_one_mode. Factor mirrors
+// of every participant are resident on each GPU for the duration, as in
+// the solo path.
+StepOutcome run_composed_mode(sim::Platform& platform,
+                              std::span<const ModeItem> items,
+                              std::size_t mode,
+                              const MttkrpOptions& options) {
+  const int m = platform.num_gpus();
+  platform.barrier();
+  const double t0 = platform.makespan();
+
+  std::uint64_t factor_bytes = 0;
+  for (const auto& item : items) factor_bytes += item.factors->total_bytes();
+  for (int g = 0; g < m; ++g) platform.gpu(g).alloc(factor_bytes);
+
+  const auto scheduler = exec::make_scheduler(options);
+  std::vector<exec::Plan> plans;
+  plans.reserve(items.size());
+  for (const auto& item : items) {
+    assert(item.out->rows() == item.tensor->dims()[mode] &&
+           item.out->cols() == item.factors->rank());
+    item.out->set_zero();
+    const exec::ModeLowerInput input{
+        platform, *item.tensor, mode, *item.factors, *item.out, options,
+        resolve_mttkrp_profile(options, *item.tensor, mode, platform,
+                               item.factors->rank())};
+    plans.push_back(scheduler->lower(input));
+  }
+
+  StepOutcome outcome;
+  exec::Plan composed = exec::compose(plans, &outcome.info);
+  exec::PlanExecutor executor(platform);
+  outcome.report = executor.run(composed);
+
+  for (int g = 0; g < m; ++g) platform.gpu(g).free(factor_bytes);
+  outcome.seconds = platform.makespan() - t0;
+  return outcome;
+}
+
+// Folds one composed step into the report and the per-workload compute
+// accounting (scope order inside the step equals item order).
+void record_step(BatchReport& report, const StepOutcome& outcome,
+                 std::span<const ModeItem> items, std::size_t mode) {
+  BatchModeStep step;
+  step.mode = mode;
+  step.plans = outcome.info.plans;
+  step.elided_barriers = outcome.info.elided_barriers;
+  step.seconds = outcome.seconds;
+  report.elided_barriers += step.elided_barriers;
+  report.steps.push_back(step);
+  for (std::size_t s = 0; s < items.size(); ++s) {
+    auto& acc = report.per_tensor_gpu_compute[items[s].slot];
+    const auto& scope = outcome.report.scope_gpu_compute[s];
+    for (std::size_t g = 0; g < scope.size(); ++g) acc[g] += scope[g];
+  }
+}
+
+}  // namespace
+
+BatchReport mttkrp_batch(sim::Platform& platform,
+                         std::span<const BatchWorkload> workloads,
+                         std::vector<std::vector<DenseMatrix>>& outputs,
+                         const MttkrpOptions& options) {
+  BatchReport report;
+  report.per_tensor_gpu_compute.assign(
+      workloads.size(),
+      std::vector<double>(static_cast<std::size_t>(platform.num_gpus()),
+                          0.0));
+  outputs.assign(workloads.size(), {});
+  std::size_t max_modes = 0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto& w = workloads[i];
+    outputs[i].reserve(w.tensor->num_modes());
+    for (std::size_t d = 0; d < w.tensor->num_modes(); ++d) {
+      outputs[i].emplace_back(w.tensor->dims()[d], w.factors->rank());
+    }
+    max_modes = std::max(max_modes, w.tensor->num_modes());
+  }
+
+  platform.barrier();
+  const double t0 = platform.makespan();
+  for (std::size_t d = 0; d < max_modes; ++d) {
+    std::vector<ModeItem> items;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const auto& w = workloads[i];
+      if (d >= w.tensor->num_modes()) continue;
+      items.push_back({w.tensor, w.factors, &outputs[i][d], i});
+    }
+    if (items.empty()) continue;
+    const auto outcome = run_composed_mode(platform, items, d, options);
+    record_step(report, outcome, items, d);
+  }
+  report.total_seconds = platform.makespan() - t0;
+  return report;
+}
+
+std::vector<CpdResult> cpd_batch(sim::Platform& platform,
+                                 std::span<const AmpedTensor* const> tensors,
+                                 const CpdOptions& options,
+                                 BatchReport* report) {
+  BatchReport local;
+  local.per_tensor_gpu_compute.assign(
+      tensors.size(),
+      std::vector<double>(static_cast<std::size_t>(platform.num_gpus()),
+                          0.0));
+
+  std::vector<detail::AlsState> states;
+  states.reserve(tensors.size());
+  std::size_t max_modes = 0;
+  for (const AmpedTensor* t : tensors) {
+    states.emplace_back(*t, options);
+    max_modes = std::max(max_modes, t->num_modes());
+  }
+
+  platform.barrier();
+  const double t0 = platform.makespan();
+  for (;;) {
+    bool any_active = false;
+    for (const auto& s : states) any_active = any_active || !s.done();
+    if (!any_active) break;
+
+    for (std::size_t d = 0; d < max_modes; ++d) {
+      std::vector<ModeItem> items;
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        auto& s = states[i];
+        if (s.done() || d >= s.num_modes()) continue;
+        items.push_back({&s.tensor(), &s.factors(), &s.prepare_mode(d), i});
+      }
+      if (items.empty()) continue;
+      const auto outcome = run_composed_mode(platform, items, d, options.mttkrp);
+      record_step(local, outcome, items, d);
+      // The composed step is shared wall time: each participant's
+      // simulated-MTTKRP account is charged the step it took part in.
+      for (const auto& item : items) {
+        states[item.slot].update_mode(d, outcome.seconds);
+      }
+    }
+    for (auto& s : states) {
+      if (!s.done()) s.finish_iteration();
+    }
+  }
+  local.total_seconds = platform.makespan() - t0;
+
+  std::vector<CpdResult> results;
+  results.reserve(states.size());
+  for (auto& s : states) results.push_back(s.take_result());
+  if (report) *report = std::move(local);
+  return results;
+}
+
+}  // namespace amped

@@ -1,0 +1,68 @@
+// Batched multi-tensor MTTKRP and CPD: the paper's "serve many scenarios"
+// story scaled to production traffic.
+//
+// N independent workloads (different tensors, factor sets, and output
+// buffers) are lowered mode position by mode position, and the N plans of
+// each position are merged with exec::compose(). Because every workload
+// updates its own output matrix, the plans' row-ownership scopes are
+// pairwise disjoint, so the composed plan elides the per-plan barriers:
+// a GPU that drains tensor A's shards flows straight into tensor B's,
+// filling lanes that would idle in a back-to-back run. Outputs are
+// bit-identical to solo execution (interleaving cannot change any
+// tensor's arithmetic — the scopes share no memory) and the composed
+// makespan is never worse than the sum of solo makespans.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cpd.hpp"
+#include "core/mttkrp.hpp"
+
+namespace amped {
+
+// One tensor's MTTKRP work in a batch. `factors` must match the tensor's
+// dims; both must outlive the call.
+struct BatchWorkload {
+  const AmpedTensor* tensor = nullptr;
+  const FactorSet* factors = nullptr;
+};
+
+// One composed dispatch: all workloads' mode-`mode` plans in one plan.
+struct BatchModeStep {
+  std::size_t mode = 0;             // mode position composed in this step
+  std::size_t plans = 0;            // workloads that contributed a plan
+  std::size_t elided_barriers = 0;  // barriers removed by disjointness
+  double seconds = 0.0;             // makespan growth of the step
+};
+
+struct BatchReport {
+  double total_seconds = 0.0;  // makespan of the whole batched sweep
+  std::vector<BatchModeStep> steps;
+  // EC seconds per workload per GPU, from the composed plans' per-scope
+  // accounting (order matches the workload span).
+  std::vector<std::vector<double>> per_tensor_gpu_compute;
+  std::size_t elided_barriers = 0;  // summed over steps
+};
+
+// Computes MTTKRP along all modes of every workload with constant factor
+// inputs, composing same-position modes across workloads.
+// outputs[i][d] receives workload i's mode-d result (bit-identical to
+// mttkrp_all_modes on workload i alone).
+BatchReport mttkrp_batch(sim::Platform& platform,
+                         std::span<const BatchWorkload> workloads,
+                         std::vector<std::vector<DenseMatrix>>& outputs,
+                         const MttkrpOptions& options);
+
+// Runs CPD-ALS on every tensor simultaneously: each ALS mode update is a
+// composed MTTKRP step across the tensors still iterating (a converged
+// tensor stops contributing plans). Factors, fits, iteration counts, and
+// convergence decisions are bit-identical to running cp_als per tensor
+// with the same options; `report`, when non-null, receives the composed
+// steps of the whole run. Results are in input order.
+std::vector<CpdResult> cpd_batch(sim::Platform& platform,
+                                 std::span<const AmpedTensor* const> tensors,
+                                 const CpdOptions& options,
+                                 BatchReport* report = nullptr);
+
+}  // namespace amped

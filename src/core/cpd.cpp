@@ -56,79 +56,97 @@ double inner_product(const DenseMatrix& mttkrp_out, const DenseMatrix& factor,
 
 }  // namespace
 
-CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
-                 const CpdOptions& options) {
+namespace detail {
+
+AlsState::AlsState(const AmpedTensor& tensor, const CpdOptions& options)
+    : tensor_(&tensor), options_(&options) {
   const std::size_t modes = tensor.num_modes();
   const std::size_t rank = options.rank;
-
   Rng rng(options.seed);
-  CpdResult result;
-  result.factors = FactorSet(tensor.dims(), rank, rng);
-  result.lambda.assign(rank, 1.0);
-
-  std::vector<DenseMatrix> grams(modes);
+  result_.factors = FactorSet(tensor.dims(), rank, rng);
+  result_.lambda.assign(rank, 1.0);
+  grams_.resize(modes);
   for (std::size_t d = 0; d < modes; ++d) {
-    grams[d] = linalg::gram(result.factors.factor(d));
+    grams_[d] = linalg::gram(result_.factors.factor(d));
   }
+  done_ = options.max_iterations == 0;
+}
 
+DenseMatrix& AlsState::prepare_mode(std::size_t d) {
+  mttkrp_out_ = DenseMatrix(tensor_->dims()[d], options_->rank);
+  return mttkrp_out_;
+}
+
+void AlsState::update_mode(std::size_t d, double sim_seconds) {
+  const std::size_t modes = tensor_->num_modes();
+  const std::size_t rank = options_->rank;
+  result_.mttkrp_sim_seconds += sim_seconds;
+
+  // V = hadamard of the other modes' grams.
+  DenseMatrix v(rank, rank, value_t{1});
+  for (std::size_t w = 0; w < modes; ++w) {
+    if (w == d) continue;
+    for (std::size_t i = 0; i < rank * rank; ++i) {
+      v.data()[i] *= grams_[w].data()[i];
+    }
+  }
+  DenseMatrix updated = mttkrp_out_;  // keep raw G for the fit
+  linalg::solve_normal_equations(v, updated);
+
+  // Column-normalise; weights move into lambda.
+  for (std::size_t c = 0; c < rank; ++c) {
+    double norm = linalg::column_norm(updated, c);
+    if (norm < 1e-30) norm = 1.0;  // dead component; leave as-is
+    result_.lambda[c] = norm;
+    linalg::scale_column(updated, c, static_cast<value_t>(1.0 / norm));
+  }
+  result_.factors.factor(d) = std::move(updated);
+  grams_[d] = linalg::gram(result_.factors.factor(d));
+
+  if (d + 1 == modes) {
+    iprod_ = inner_product(mttkrp_out_, result_.factors.factor(d),
+                           result_.lambda);
+  }
+}
+
+void AlsState::finish_iteration() {
   // tensor_norm_sq over the mode-0 copy, accumulated at build time so it
   // is available when the copies are spilled to disk.
-  const double norm_x_sq = tensor.values_norm_sq();
-  double prev_fit = 0.0;
-  DenseMatrix mttkrp_out;
+  const double norm_x_sq = tensor_->values_norm_sq();
+  const double model_sq = model_norm_sq(grams_, result_.lambda);
+  const double residual_sq =
+      std::max(0.0, norm_x_sq + model_sq - 2.0 * iprod_);
+  const double fit = 1.0 - std::sqrt(residual_sq / norm_x_sq);
+  result_.fit = fit;
+  result_.fit_history.push_back(fit);
+  result_.iterations += 1;
+  AMPED_LOG_DEBUG << "als iter " << (result_.iterations - 1) << " fit "
+                  << fit;
 
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    double iprod = 0.0;
-    for (std::size_t d = 0; d < modes; ++d) {
-      mttkrp_out = DenseMatrix(tensor.dims()[d], rank);
-      auto bd = mttkrp_one_mode(platform, tensor, result.factors, d,
-                                mttkrp_out, options.mttkrp);
-      result.mttkrp_sim_seconds += bd.seconds;
-
-      // V = hadamard of the other modes' grams.
-      DenseMatrix v(rank, rank, value_t{1});
-      for (std::size_t w = 0; w < modes; ++w) {
-        if (w == d) continue;
-        for (std::size_t i = 0; i < rank * rank; ++i) {
-          v.data()[i] *= grams[w].data()[i];
-        }
-      }
-      DenseMatrix updated = mttkrp_out;  // keep raw G for the fit
-      linalg::solve_normal_equations(v, updated);
-
-      // Column-normalise; weights move into lambda.
-      for (std::size_t c = 0; c < rank; ++c) {
-        double norm = linalg::column_norm(updated, c);
-        if (norm < 1e-30) norm = 1.0;  // dead component; leave as-is
-        result.lambda[c] = norm;
-        linalg::scale_column(updated, c,
-                             static_cast<value_t>(1.0 / norm));
-      }
-      result.factors.factor(d) = std::move(updated);
-      grams[d] = linalg::gram(result.factors.factor(d));
-
-      if (d + 1 == modes) {
-        iprod = inner_product(mttkrp_out, result.factors.factor(d),
-                              result.lambda);
-      }
-    }
-
-    const double model_sq = model_norm_sq(grams, result.lambda);
-    const double residual_sq =
-        std::max(0.0, norm_x_sq + model_sq - 2.0 * iprod);
-    const double fit = 1.0 - std::sqrt(residual_sq / norm_x_sq);
-    result.fit = fit;
-    result.fit_history.push_back(fit);
-    result.iterations = it + 1;
-    AMPED_LOG_DEBUG << "als iter " << it << " fit " << fit;
-
-    if (it > 0 && std::abs(fit - prev_fit) < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-    prev_fit = fit;
+  if (result_.iterations > 1 &&
+      std::abs(fit - prev_fit_) < options_->tolerance) {
+    result_.converged = true;
+    done_ = true;
   }
-  return result;
+  prev_fit_ = fit;
+  if (result_.iterations >= options_->max_iterations) done_ = true;
+}
+
+}  // namespace detail
+
+CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
+                 const CpdOptions& options) {
+  detail::AlsState state(tensor, options);
+  while (!state.done()) {
+    for (std::size_t d = 0; d < tensor.num_modes(); ++d) {
+      DenseMatrix& out = state.prepare_mode(d);
+      auto bd = mttkrp_one_mode(platform, tensor, state.factors(), d, out,
+                                options.mttkrp);
+      state.update_mode(d, bd.seconds);
+    }
+    state.finish_iteration();
+  }
+  return state.take_result();
 }
 
 }  // namespace amped

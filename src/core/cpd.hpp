@@ -45,4 +45,44 @@ double tensor_norm_sq(const CooTensor& t);
 CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
                  const CpdOptions& options);
 
+namespace detail {
+
+// Host-side state of one tensor's ALS run, factored out of cp_als so the
+// batched driver (core/batch.hpp) performs the exact same per-mode
+// algebra — composed MTTKRP steps feed update_mode() and the factors,
+// fits, and stopping decisions stay bit-identical to a solo cp_als.
+class AlsState {
+ public:
+  AlsState(const AmpedTensor& tensor, const CpdOptions& options);
+
+  const AmpedTensor& tensor() const { return *tensor_; }
+  const FactorSet& factors() const { return result_.factors; }
+  std::size_t num_modes() const { return tensor_->num_modes(); }
+  bool done() const { return done_; }
+
+  // Returns the zero-free output buffer the mode-`d` MTTKRP writes into
+  // (sized dims[d] x rank; the MTTKRP zeroes it).
+  DenseMatrix& prepare_mode(std::size_t d);
+  // Charges `sim_seconds` of simulated MTTKRP time and performs the ALS
+  // update for mode `d`: normal equations, column normalisation, gram
+  // refresh (and the inner product on the last mode).
+  void update_mode(std::size_t d, double sim_seconds);
+  // Computes the fit, records the iteration, and decides convergence.
+  void finish_iteration();
+
+  CpdResult take_result() { return std::move(result_); }
+
+ private:
+  const AmpedTensor* tensor_;
+  const CpdOptions* options_;
+  CpdResult result_;
+  std::vector<DenseMatrix> grams_;
+  DenseMatrix mttkrp_out_;
+  double prev_fit_ = 0.0;
+  double iprod_ = 0.0;
+  bool done_ = false;
+};
+
+}  // namespace detail
+
 }  // namespace amped

@@ -15,6 +15,7 @@ std::string to_string(SchedulingPolicy policy) {
     case SchedulingPolicy::kContiguous: return "contiguous";
     case SchedulingPolicy::kWeightedStatic: return "weighted-static";
     case SchedulingPolicy::kCostModel: return "cost-model";
+    case SchedulingPolicy::kDynamicLookahead: return "dynamic-lookahead";
   }
   return "?";
 }
@@ -31,10 +32,13 @@ SchedulingPolicy parse_policy(const std::string& name) {
     return SchedulingPolicy::kWeightedStatic;
   }
   if (name == "cost-model") return SchedulingPolicy::kCostModel;
+  if (name == "dynamic-lookahead" || name == "lookahead") {
+    return SchedulingPolicy::kDynamicLookahead;
+  }
   throw std::invalid_argument(
       "unknown scheduling policy \"" + name +
       "\" (expected static-greedy, dynamic-queue, contiguous, "
-      "weighted-static, or cost-model)");
+      "weighted-static, cost-model, or dynamic-lookahead)");
 }
 
 nnz_t ModePartition::total_nnz() const {
@@ -109,7 +113,8 @@ ShardAssignment assign_shards(const ModePartition& partition, int num_gpus,
       }
       break;
     }
-    case SchedulingPolicy::kDynamicQueue: {
+    case SchedulingPolicy::kDynamicQueue:
+    case SchedulingPolicy::kDynamicLookahead: {
       // Dispatch order only; the MTTKRP executor re-assigns at runtime by
       // device clock. Round-robin is the queue's arrival order.
       for (std::size_t id = 0; id < n; ++id) {
@@ -188,6 +193,28 @@ ShardAssignment assign_shards_weighted(const ModePartition& partition,
   }
   for (auto& list : out.per_gpu) std::sort(list.begin(), list.end());
   return out;
+}
+
+ShardRunStats compute_shard_run_stats(std::span<const index_t> mode_indices,
+                                      const Shard& shard) {
+  ShardRunStats stats;
+  if (shard.nnz() == 0) return stats;
+  assert(shard.nnz_end <= mode_indices.size());
+  index_t run_index = mode_indices[shard.nnz_begin];
+  nnz_t run_len = 0;
+  stats.runs = 1;
+  for (nnz_t n = shard.nnz_begin; n < shard.nnz_end; ++n) {
+    if (mode_indices[n] == run_index) {
+      ++run_len;
+    } else {
+      stats.max_run = std::max(stats.max_run, run_len);
+      ++stats.runs;
+      run_index = mode_indices[n];
+      run_len = 1;
+    }
+  }
+  stats.max_run = std::max(stats.max_run, run_len);
+  return stats;
 }
 
 std::vector<std::pair<nnz_t, nnz_t>> split_isps(const Shard& shard,

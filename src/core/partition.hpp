@@ -33,6 +33,9 @@ enum class SchedulingPolicy {
   kCostModel,       // LPT on per-shard, per-device simulated seconds from
                     // sim/cost_model — balances heterogeneous GPUs at
                     // shard granularity (exec::CostModelScheduler)
+  kDynamicLookahead,  // dynamic dispatch with a per-GPU copy engine: the
+                      // next shard's H2D streams while the current grid
+                      // computes (closes the dynamic-vs-pipelined gap)
 };
 
 std::string to_string(SchedulingPolicy policy);
@@ -93,5 +96,20 @@ ShardAssignment assign_shards_weighted(const ModePartition& partition,
 // shard.nnz_begin.
 std::vector<std::pair<nnz_t, nnz_t>> split_isps(const Shard& shard,
                                                 nnz_t isp_size);
+
+// Device-independent run structure of one shard of an output-sorted copy:
+// how many runs of equal output index it contains and the longest one.
+// Exact input to the cost model's EC pricing; computed from the resident
+// sorted indices, or persisted at spill time (io/snapshot run-stats
+// segment) so spilled shards price from real structure too.
+struct ShardRunStats {
+  nnz_t runs = 0;
+  nnz_t max_run = 0;
+};
+
+// One scan of `mode_indices` (the shard's output-mode column, sorted)
+// over [shard.nnz_begin, shard.nnz_end).
+ShardRunStats compute_shard_run_stats(std::span<const index_t> mode_indices,
+                                      const Shard& shard);
 
 }  // namespace amped

@@ -1,0 +1,45 @@
+// Plan composition: merge independently lowered plans into one so shards
+// from different tensors (or different modes) interleave on one platform.
+//
+// Every plan lowered by a scheduler names the output rows it updates
+// (Plan::scopes, a RowScope per source plan after composition). When the
+// scopes of the composed plans are pairwise disjoint — different output
+// buffers, or non-overlapping row ranges of one buffer — no kernel of one
+// plan can touch memory another plan writes, so the barriers that only
+// ordered compute against the epilogue *within* one source plan are
+// elided: each GPU lane flows straight from plan A's last shard into plan
+// B's first shard, filling lanes that would otherwise idle while the
+// slowest GPU drains A. The per-plan all-gathers are deferred to the end
+// of the composed plan (their internal barrier already synchronises the
+// devices) and are sized from their own scope's runtime row ownership.
+//
+// When scopes overlap, or a plan does not have the canonical
+// lane-tasks → barrier → all-gather shape, compose() falls back to plain
+// concatenation with every barrier kept — semantically identical to
+// running the plans back to back, with zero elision.
+//
+// Composition requires a homogeneous batch: all plans sequential, all
+// pipelined, or all dynamic (kAnyGpu). Mixing dispatch disciplines in one
+// plan has no defined lane semantics and throws std::invalid_argument.
+#pragma once
+
+#include <span>
+
+#include "exec/plan.hpp"
+
+namespace amped::exec {
+
+// What compose() proved and did; returned alongside the merged plan.
+struct ComposeInfo {
+  std::size_t plans = 0;            // source plans merged
+  std::size_t elided_barriers = 0;  // barriers dropped thanks to disjointness
+  bool disjoint = false;            // row-ownership scopes pairwise disjoint
+};
+
+// Merges `plans` into one executable plan, consuming the inputs (tasks,
+// kernels, and streamers are moved out; the sources are left empty).
+// Scope tags, dependency edges, and streamer indices are remapped; see
+// the file comment for the barrier-elision rule.
+Plan compose(std::span<Plan> plans, ComposeInfo* info = nullptr);
+
+}  // namespace amped::exec

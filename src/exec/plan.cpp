@@ -24,13 +24,29 @@ std::string shard_label(const Task& t) {
 
 ExecReport PlanExecutor::run(Plan& plan) {
   const int m = platform_.num_gpus();
+  const std::size_t scopes = plan.num_scopes();
   ExecReport report;
   report.per_gpu_compute.assign(static_cast<std::size_t>(m), 0.0);
-  report.owned_rows.assign(static_cast<std::size_t>(m), 0);
+  report.scope_gpu_compute.assign(
+      scopes, std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  report.scope_owned_rows.assign(
+      scopes,
+      std::vector<std::uint64_t>(static_cast<std::size_t>(m), 0));
 
   // Completion time of each lane task, used by pipelined kernels to
   // synchronise on their H2D dependencies.
   std::vector<double> finish(plan.tasks.size(), 0.0);
+
+  // Books one executed kernel: per-GPU totals and the per-scope splits
+  // (all-gather sizing, batch attribution) always move together.
+  // Concurrent lanes write disjoint [scope][gpu] slots, so this is safe
+  // under parallel lane execution.
+  auto charge_kernel = [&](const Task& t, int gpu, double ec) {
+    const auto g = static_cast<std::size_t>(gpu);
+    report.per_gpu_compute[g] += ec;
+    report.scope_gpu_compute[t.scope][g] += ec;
+    report.scope_owned_rows[t.scope][g] += t.owned_rows;
+  };
 
   // Executes tasks `ids` (all belonging to GPU `gpu`) with sequential or
   // pipelined engine semantics. Lane-local state only: safe to run lanes
@@ -63,8 +79,7 @@ ExecReport PlanExecutor::run(Plan& plan) {
             if (t.labelled && device.tracing()) label = shard_label(t);
             device.advance(sim::Phase::kCompute, ec, std::move(label));
             if (t.free_bytes) device.free(t.free_bytes);
-            report.per_gpu_compute[static_cast<std::size_t>(gpu)] += ec;
-            report.owned_rows[static_cast<std::size_t>(gpu)] += t.owned_rows;
+            charge_kernel(t, gpu, ec);
             break;
           }
           default:
@@ -103,8 +118,7 @@ ExecReport PlanExecutor::run(Plan& plan) {
           compute_clock = landed + ec;
           ec_total += ec;
           finish[id] = compute_clock;
-          report.per_gpu_compute[static_cast<std::size_t>(gpu)] += ec;
-          report.owned_rows[static_cast<std::size_t>(gpu)] += t.owned_rows;
+          charge_kernel(t, gpu, ec);
           break;
         }
         default:
@@ -138,12 +152,105 @@ ExecReport PlanExecutor::run(Plan& plan) {
     assert(unit.empty() && "dynamic plan must end each unit with a kernel");
   };
 
+  // Look-ahead dynamic dispatch (kDynamicLookahead): every GPU keeps a
+  // copy engine and a compute engine. A dispatch unit goes to the GPU
+  // whose pipeline accepts it earliest — the time its kernel could start
+  // given the copy engine's backlog — so unit i+1's H2D streams while
+  // unit i's grid computes. Commit follows the pipelined lane rules: only
+  // the exposed (non-overlapped) transfer time is charged at the end.
+  auto run_dynamic_lookahead = [&](const std::vector<std::size_t>& ids) {
+    struct Pipeline {
+      double start = 0.0;  // device clock when dispatch began
+      double copy = 0.0;   // copy-engine frontier
+      double compute = 0.0;
+      double ec_total = 0.0;
+    };
+    std::vector<Pipeline> pipe(static_cast<std::size_t>(m));
+    for (int g = 0; g < m; ++g) {
+      auto& p = pipe[static_cast<std::size_t>(g)];
+      p.start = p.copy = p.compute = platform_.gpu(g).clock();
+    }
+    io::ShardStreamer::View view;
+    bool have_view = false;
+    std::vector<std::size_t> unit;
+    for (std::size_t id : ids) {
+      unit.push_back(id);
+      if (plan.tasks[id].kind != TaskKind::kKernel) continue;
+
+      // The unit's total transfer decides where its kernel could start
+      // soonest: max(compute frontier, copy frontier + H2D time), the
+      // look-ahead criterion (ties to the lowest GPU id).
+      double h2d_seconds = 0.0;
+      for (std::size_t tid : unit) {
+        if (plan.tasks[tid].kind == TaskKind::kH2D) {
+          h2d_seconds += platform_.h2d_seconds(plan.tasks[tid].transfer_bytes);
+        }
+      }
+      int best = 0;
+      double best_start = 0.0;
+      for (int g = 0; g < m; ++g) {
+        const auto& p = pipe[static_cast<std::size_t>(g)];
+        const double start_at = std::max(p.compute, p.copy + h2d_seconds);
+        if (g == 0 || start_at < best_start) {
+          best = g;
+          best_start = start_at;
+        }
+      }
+      auto& p = pipe[static_cast<std::size_t>(best)];
+      const ExecContext ctx{platform_, best, &view};
+      const ExecContext ctx_no_view{platform_, best, nullptr};
+      for (std::size_t tid : unit) {
+        Task& t = plan.tasks[tid];
+        switch (t.kind) {
+          case TaskKind::kSpillFetch:
+            view = plan.streamers[t.streamer]->acquire(t.stream_pos);
+            have_view = true;
+            finish[tid] = p.copy;
+            break;
+          case TaskKind::kH2D:
+            p.copy += platform_.h2d_seconds(t.transfer_bytes);
+            finish[tid] = p.copy;
+            break;
+          case TaskKind::kKernel: {
+            const double ec = t.kernel(have_view ? ctx : ctx_no_view);
+            double landed = p.compute;
+            for (std::size_t dep : t.deps) {
+              landed = std::max(landed, finish[dep]);
+            }
+            p.compute = landed + ec;
+            p.ec_total += ec;
+            finish[tid] = p.compute;
+            charge_kernel(t, best, ec);
+            break;
+          }
+          default:
+            assert(false && "task kind unsupported under look-ahead dispatch");
+        }
+      }
+      unit.clear();
+    }
+    assert(unit.empty() && "dynamic plan must end each unit with a kernel");
+    for (int g = 0; g < m; ++g) {
+      auto& p = pipe[static_cast<std::size_t>(g)];
+      auto& device = platform_.gpu(g);
+      const double lane_finish = std::max(p.copy, p.compute);
+      const double exposed_h2d =
+          std::max(0.0, lane_finish - p.start - p.ec_total);
+      device.advance(sim::Phase::kHostToDevice, exposed_h2d);
+      device.advance(sim::Phase::kCompute, p.ec_total);
+    }
+  };
+
   // Flushes a run of lane/dynamic tasks accumulated between global tasks.
   std::vector<std::size_t> segment;
   auto flush = [&] {
     if (segment.empty()) return;
     if (plan.tasks[segment.front()].gpu == kAnyGpu) {
-      run_dynamic(segment);
+      if (plan.pipelined) {
+        run_dynamic_lookahead(segment);
+      } else {
+        run_dynamic(segment);
+      }
       segment.clear();
       return;
     }
@@ -191,11 +298,14 @@ ExecReport PlanExecutor::run(Plan& plan) {
         break;
       case TaskKind::kAllGather: {
         flush();
+        // Sized from this scope's runtime row ownership only, so composed
+        // plans exchange exactly what each source plan's kernels updated.
         std::vector<std::uint64_t> part_bytes(static_cast<std::size_t>(m),
                                               0);
         for (int g = 0; g < m; ++g) {
           part_bytes[static_cast<std::size_t>(g)] =
-              report.owned_rows[static_cast<std::size_t>(g)] * t.row_bytes;
+              report.scope_owned_rows[t.scope][static_cast<std::size_t>(g)] *
+              t.row_bytes;
         }
         allgather_factor_rows(platform_, part_bytes, t.allgather);
         break;

@@ -23,6 +23,17 @@
 //  - dynamic: tasks carry gpu == kAnyGpu and are dispatched in plan
 //    order to the earliest-idle GPU — the simulated clock is the work
 //    queue, reproducing dynamic load balancing exactly.
+//  - dynamic look-ahead: kAnyGpu tasks with `pipelined` set. Dispatch
+//    units go to the GPU whose pipeline accepts them earliest, and a
+//    unit's H2D is issued on that GPU's copy engine while the previous
+//    unit's grid still computes — the pipelined commit rules (exposed
+//    transfer only) applied to dynamic dispatch.
+//
+// Since PR 5 a plan also names the output rows it updates (RowScope) and
+// every task carries a scope index. A solo plan has one scope; composed
+// plans (exec/compose.hpp) carry one scope per source plan so barriers
+// can be elided across provably disjoint outputs and each all-gather is
+// sized from its own scope's row ownership.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +63,22 @@ enum class TaskKind {
 // GPU (dynamic-queue scheduling); all other tasks name their lane.
 inline constexpr int kAnyGpu = -1;
 
+// The output rows a plan updates: the identity of the output buffer plus
+// the row range touched within it. Two scopes over different buffers (or
+// non-overlapping rows of the same buffer) can never write the same
+// memory, which is the disjointness proof compose() relies on to elide
+// barriers between source plans.
+struct RowScope {
+  const void* output = nullptr;  // identity of the output buffer
+  index_t row_begin = 0;         // rows [begin, end) updated within it
+  index_t row_end = 0;
+};
+
+inline bool disjoint(const RowScope& a, const RowScope& b) {
+  if (a.output != b.output) return true;
+  return a.row_end <= b.row_begin || b.row_end <= a.row_begin;
+}
+
 // Runtime context handed to kernel closures. `view` is the shard view
 // produced by the lane's most recent SpillFetch task (nullptr when the
 // plan streams nothing).
@@ -68,6 +95,10 @@ using KernelFn = std::function<double(const ExecContext&)>;
 struct Task {
   TaskKind kind = TaskKind::kKernel;
   int gpu = kAnyGpu;
+  // Index into Plan::scopes (0 for solo plans). Kernel ownership and
+  // all-gather sizing are accounted per scope so composed plans keep
+  // per-tensor numbers separable.
+  std::size_t scope = 0;
   // Explicit dependencies (indices into Plan::tasks). Lane program order
   // is an implicit dependency on each engine; `deps` carries the
   // cross-engine edges (kernel <- its H2D, H2D <- its SpillFetch) that
@@ -107,23 +138,37 @@ struct Plan {
   std::string scheduler;  // name of the scheduler that lowered this plan
   std::size_t mode = 0;   // output mode (reporting only)
   // Lane interpretation: sequential (false) or double-buffered (true).
+  // For kAnyGpu tasks the flag selects look-ahead dynamic dispatch.
   bool pipelined = false;
   // Whether per-GPU lanes may run on the host thread pool. Only safe when
   // lanes never touch the same output rows (AMPED's shard partition
   // guarantees this; the equal-nnz chunks do not).
   bool parallel_lanes = false;
+  // Row-ownership scopes; Task::scope indexes this. Empty means one
+  // anonymous scope (solo plans lowered before composition existed).
+  std::vector<RowScope> scopes;
   std::vector<Task> tasks;
   // Shard sources owned by the plan; SpillFetch tasks index into this.
   std::vector<std::unique_ptr<io::ShardStreamer>> streamers;
+
+  std::size_t num_scopes() const {
+    return scopes.empty() ? 1 : scopes.size();
+  }
 };
 
 // What the executor learned while running a plan.
 struct ExecReport {
-  // EC seconds charged per GPU (sized to the platform's GPU count; idle
-  // GPUs report 0.0). Feeds ModeBreakdown::per_gpu_compute.
+  // EC seconds charged per GPU, summed over scopes (sized to the
+  // platform's GPU count; idle GPUs report 0.0). Feeds
+  // ModeBreakdown::per_gpu_compute.
   std::vector<double> per_gpu_compute;
-  // Output rows owned per GPU, accumulated from executed kernels.
-  std::vector<std::uint64_t> owned_rows;
+  // Per-scope splits of the same accounting: [scope][gpu]. Solo plans
+  // have exactly one scope; composed plans report one row per source
+  // plan so batch callers can attribute compute per tensor.
+  std::vector<std::vector<double>> scope_gpu_compute;
+  // Output rows owned per scope per GPU, accumulated from executed
+  // kernels; sizes each scope's all-gather.
+  std::vector<std::vector<std::uint64_t>> scope_owned_rows;
 };
 
 // Runs any plan on the platform: per-GPU lanes (parallel when the plan

@@ -130,12 +130,20 @@ void append_mode_epilogue(Plan& plan, const ModeLowerInput& in) {
 
 // Lowers a fixed shard -> GPU assignment: one lane per GPU, each with its
 // own streamer (independent read-ahead when the copy is spilled).
+// Every mode plan updates all rows of its output matrix: the scope that
+// lets compose() prove disjointness across tensors (different outputs)
+// or across row-partitioned work on one output.
+RowScope mode_scope(const ModeLowerInput& in) {
+  return RowScope{&in.out, 0, static_cast<index_t>(in.out.rows())};
+}
+
 Plan lower_static(const ModeLowerInput& in, const ShardAssignment& assignment,
                   bool pipelined, std::string name) {
   const auto& copy = in.tensor.mode_copy(in.mode);
   Plan plan;
   plan.scheduler = std::move(name);
   plan.mode = in.mode;
+  plan.scopes = {mode_scope(in)};
   plan.pipelined = pipelined;
   // Shards of one mode own disjoint output rows, so lanes may run
   // concurrently on the host pool.
@@ -179,38 +187,35 @@ std::vector<double> throughput_weights(const ModeLowerInput& in) {
 }
 
 // Device-independent run structure of one shard: exact from one scan of
-// the resident sorted copy; approximated from the index width when
-// spilled (a scan would mean disk reads at schedule time).
-struct ShardRunStats {
-  nnz_t runs = 0;
-  nnz_t max_run = 0;
-};
-
+// the resident sorted copy, or from the run-stats segment persisted in
+// the spill file at spill time. Only a spilled copy whose file predates
+// the segment (or whose partition no longer matches) falls back to the
+// index-width approximation — persisted stats mean no disk reads at
+// schedule time either way.
 ShardRunStats shard_run_stats(const ModeLowerInput& in, const Shard& shard) {
   ShardRunStats stats;
   if (shard.nnz() == 0) return stats;
   const auto& copy = in.tensor.mode_copy(in.mode);
   if (!copy.spilled()) {
-    const auto idx = copy.tensor.indices(copy.partition.mode);
-    index_t run_index = idx[shard.nnz_begin];
-    nnz_t run_len = 0;
-    stats.runs = 1;
-    for (nnz_t n = shard.nnz_begin; n < shard.nnz_end; ++n) {
-      if (idx[n] == run_index) {
-        ++run_len;
-      } else {
-        stats.max_run = std::max(stats.max_run, run_len);
-        ++stats.runs;
-        run_index = idx[n];
-        run_len = 1;
-      }
-    }
-    stats.max_run = std::max(stats.max_run, run_len);
-  } else {
-    const nnz_t width = std::max<index_t>(1, shard.index_count());
-    stats.runs = std::min<nnz_t>(shard.nnz(), width);
-    stats.max_run = (shard.nnz() + width - 1) / width;
+    return compute_shard_run_stats(copy.tensor.indices(copy.partition.mode),
+                                   shard);
   }
+  const auto records = copy.spill->shard_run_stats();
+  const auto it = std::lower_bound(
+      records.begin(), records.end(),
+      static_cast<std::uint64_t>(shard.nnz_begin),
+      [](const io::ShardRunStatsRecord& r, std::uint64_t begin) {
+        return r.nnz_begin < begin;
+      });
+  if (it != records.end() && it->nnz_begin == shard.nnz_begin &&
+      it->nnz_end == shard.nnz_end) {
+    stats.runs = static_cast<nnz_t>(it->runs);
+    stats.max_run = static_cast<nnz_t>(it->max_run);
+    return stats;
+  }
+  const nnz_t width = std::max<index_t>(1, shard.index_count());
+  stats.runs = std::min<nnz_t>(shard.nnz(), width);
+  stats.max_run = (shard.nnz() + width - 1) / width;
   return stats;
 }
 
@@ -346,29 +351,42 @@ class CostModelScheduler : public StaticScheduler {
 
 class DynamicQueueScheduler : public Scheduler {
  public:
+  // lookahead = false is the paper's dynamic load balancing: one queue,
+  // earliest-idle GPU, sequential streaming. lookahead = true keeps the
+  // single queue but marks the plan pipelined, which the executor runs
+  // with per-GPU copy engines: shard i+1's H2D streams while shard i's
+  // grid computes (kDynamicLookahead).
+  explicit DynamicQueueScheduler(bool lookahead = false)
+      : lookahead_(lookahead) {}
+
   std::string name() const override {
-    return to_string(SchedulingPolicy::kDynamicQueue);
+    return to_string(lookahead_ ? SchedulingPolicy::kDynamicLookahead
+                                : SchedulingPolicy::kDynamicQueue);
   }
 
   // Shards leave one queue in index order regardless of which GPU takes
   // them: every task carries kAnyGpu and one streamer spans the whole
-  // dispatch order. Streaming stays sequential (the dispatch clock is
-  // the idle signal), as in the pre-engine loop.
+  // dispatch order.
   Plan lower(const ModeLowerInput& in) const override {
     const auto& copy = in.tensor.mode_copy(in.mode);
     Plan plan;
     plan.scheduler = name();
     plan.mode = in.mode;
+    plan.scopes = {mode_scope(in)};
+    plan.pipelined = lookahead_;
     std::vector<std::size_t> all_ids(copy.partition.shards.size());
     std::iota(all_ids.begin(), all_ids.end(), std::size_t{0});
     plan.streamers.push_back(make_streamer(copy, all_ids));
     for (std::size_t s = 0; s < all_ids.size(); ++s) {
       append_shard_tasks(plan, in, kAnyGpu, 0, s, all_ids[s],
-                         /*pipelined=*/false);
+                         /*pipelined=*/lookahead_);
     }
     append_mode_epilogue(plan, in);
     return plan;
   }
+
+ private:
+  bool lookahead_;
 };
 
 }  // namespace
@@ -383,6 +401,8 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy,
   switch (policy) {
     case SchedulingPolicy::kDynamicQueue:
       return std::make_unique<DynamicQueueScheduler>();
+    case SchedulingPolicy::kDynamicLookahead:
+      return std::make_unique<DynamicQueueScheduler>(/*lookahead=*/true);
     case SchedulingPolicy::kWeightedStatic:
       return std::make_unique<WeightedStaticScheduler>(pipelined);
     case SchedulingPolicy::kCostModel:

@@ -47,14 +47,17 @@ class Scheduler {
 };
 
 // Scheduler for `options.policy` honouring `options.pipelined_streaming`
-// (which applies to the static policies; dynamic dispatch is inherently
-// sequential, as before).
+// (which applies to the static policies; plain dynamic dispatch stays
+// sequential as before — kDynamicLookahead is the dynamic policy that
+// overlaps the next shard's H2D with the current grid).
 std::unique_ptr<Scheduler> make_scheduler(const MttkrpOptions& options);
 std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy,
                                           bool pipelined);
 
 // The cost-model scheduler's per-shard estimate of simulated seconds on
-// one GPU (H2D + grid under that device's roofline). Exposed for tests.
+// one GPU (H2D + grid under that device's roofline). Run structure comes
+// from a scan of the resident copy, or from the run-stats segment
+// persisted in the spill file. Exposed for tests.
 double estimate_shard_seconds(const ModeLowerInput& in, const Shard& shard,
                               int gpu);
 

@@ -34,9 +34,10 @@ std::string next_spill_path(const std::string& dir, std::size_t mode) {
 }  // namespace
 
 SpilledModeCopy::SpilledModeCopy(const CooTensor& sorted, std::size_t mode,
-                                 const std::string& dir)
+                                 const std::string& dir,
+                                 std::span<const ShardRunStatsRecord> shard_stats)
     : path_(next_spill_path(resolve_spill_dir(dir), mode)) {
-  write_snapshot_file(sorted, path_);
+  write_snapshot_file(sorted, path_, shard_stats);
   // Just written and renamed into place by this process; skip the
   // checksum sweep so mapping stays O(1) instead of O(file).
   map_ = MappedCooTensor(path_, {.verify_checksums = false});

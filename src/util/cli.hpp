@@ -44,9 +44,10 @@ void apply_common_flags(const CliArgs& args);
 
 // Same, plus the execution-engine knobs written into `*mttkrp`:
 // `--policy NAME` (static-greedy, dynamic-queue, contiguous,
-// weighted-static, cost-model — see parse_policy), `--allgather NAME`
-// (ring, direct, host-staged) and `--pipelined` (double-buffered shard
-// streaming). A typo exits with a usage error listing the valid names.
+// weighted-static, cost-model, dynamic-lookahead — see parse_policy),
+// `--allgather NAME` (ring, direct, host-staged) and `--pipelined`
+// (double-buffered shard streaming). A typo exits with a usage error
+// listing the valid names.
 void apply_common_flags(const CliArgs& args, MttkrpOptions* mttkrp);
 
 }  // namespace amped

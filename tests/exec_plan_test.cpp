@@ -302,13 +302,18 @@ TEST(ExecPlanTest, SchedulerNamesAndParsersRoundTrip) {
   for (auto policy :
        {SchedulingPolicy::kStaticGreedy, SchedulingPolicy::kDynamicQueue,
         SchedulingPolicy::kContiguous, SchedulingPolicy::kWeightedStatic,
-        SchedulingPolicy::kCostModel}) {
+        SchedulingPolicy::kCostModel,
+        SchedulingPolicy::kDynamicLookahead}) {
     EXPECT_EQ(parse_policy(to_string(policy)), policy);
     MttkrpOptions options;
     options.policy = policy;
     EXPECT_EQ(exec::make_scheduler(options)->name(), to_string(policy));
     options.pipelined_streaming = true;
-    if (policy != SchedulingPolicy::kDynamicQueue) {
+    // The dynamic policies never take the "+pipelined" suffix: plain
+    // dynamic dispatch stays sequential, and look-ahead dispatch is the
+    // pipelined variant by definition.
+    if (policy != SchedulingPolicy::kDynamicQueue &&
+        policy != SchedulingPolicy::kDynamicLookahead) {
       EXPECT_EQ(exec::make_scheduler(options)->name(),
                 to_string(policy) + "+pipelined");
     }

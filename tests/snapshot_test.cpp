@@ -131,6 +131,46 @@ TEST_F(SnapshotTest, SegmentsAreAligned) {
   }
 }
 
+TEST_F(SnapshotTest, ShardRunStatsSegmentRoundTrips) {
+  // The optional run-stats segment (written at spill time) must survive
+  // the mapped-view round trip and leave the tensor payload untouched;
+  // files written without it must read back with an empty span.
+  const auto t = make_tensor({20, 30, 10}, 500, 11);
+  const std::vector<io::ShardRunStatsRecord> stats = {
+      {0, 200, 40, 12}, {200, 350, 33, 9}, {350, 500, 50, 4}};
+  const auto p = path("stats.amptns");
+  io::write_snapshot_file(t, p, stats);
+
+  io::MappedCooTensor mapped(p);
+  const auto got = mapped.shard_run_stats();
+  ASSERT_EQ(got.size(), stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(got[i].nnz_begin, stats[i].nnz_begin) << i;
+    EXPECT_EQ(got[i].nnz_end, stats[i].nnz_end) << i;
+    EXPECT_EQ(got[i].runs, stats[i].runs) << i;
+    EXPECT_EQ(got[i].max_run, stats[i].max_run) << i;
+  }
+  expect_tensors_equal(t, io::read_snapshot_file(p));
+
+  const auto layout = io::inspect_snapshot(p);
+  ASSERT_EQ(layout.segments.size(), 6u);  // dims + 3 index cols + values + stats
+  bool saw_stats = false;
+  for (const auto& seg : layout.segments) {
+    EXPECT_EQ(seg.offset % io::kSnapshotAlignment, 0u);
+    if (seg.kind == io::SegmentKind::kShardRunStats) {
+      saw_stats = true;
+      EXPECT_EQ(seg.bytes, stats.size() * sizeof(io::ShardRunStatsRecord));
+    }
+  }
+  EXPECT_TRUE(saw_stats);
+
+  // Plain conversions carry no stats segment.
+  const auto plain = path("nostats.amptns");
+  io::write_snapshot_file(t, plain);
+  io::MappedCooTensor plain_mapped(plain);
+  EXPECT_TRUE(plain_mapped.shard_run_stats().empty());
+}
+
 TEST_F(SnapshotTest, ChecksumCorruptionRejected) {
   const auto t = make_tensor({20, 30, 10}, 500, 4);
   const auto p = path("corrupt.amptns");
