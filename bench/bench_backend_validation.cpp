@@ -1,0 +1,156 @@
+// Backend validation report: runs the same MTTKRP plans through the
+// host-parallel backend and prints measured wall-clock next to the cost
+// model's predicted seconds, per phase, per policy, on a homogeneous and
+// a heterogeneous platform.
+//
+// Both columns come out of ONE host run: the kernel closures perform the
+// real EC arithmetic and return the modelled grid seconds, so every
+// ExecReport carries (measured, predicted) pairs — see
+// exec/host_backend.hpp. The ratio column is the host-machine
+// calibration factor: predicted seconds price a simulated GPU, measured
+// seconds are this machine's CPU, so the ratio is expected to be far
+// from 1 but *stable across phases and policies* when the model's
+// relative costs are right.
+//
+// Plain driver (not Google Benchmark): the value is the table, not a
+// timing distribution.
+//
+//   ./bench_backend_validation [--nnz N] [--rank R] [--threads T]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/amped_tensor.hpp"
+#include "core/mttkrp.hpp"
+#include "exec/backend.hpp"
+#include "exec/scheduler.hpp"
+#include "sim/platform.hpp"
+#include "tensor/generator.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace amped;
+
+struct PlatformCase {
+  std::string name;
+  sim::Platform (*make)();
+};
+
+sim::Platform homogeneous() { return sim::make_default_platform(4, 1000.0); }
+
+sim::Platform heterogeneous() {
+  sim::PlatformConfig cfg;
+  cfg.num_gpus = 4;
+  cfg.workload_scale = 1000.0;
+  cfg.gpu_overrides = {sim::rtx6000_ada_spec(), sim::rtx6000_ada_spec(),
+                       sim::rtx_a4000_spec(), sim::rtx_a4000_spec()};
+  return sim::Platform(cfg);
+}
+
+struct PhaseTotals {
+  double wall_compute = 0.0, predicted_compute = 0.0;
+  double wall_h2d = 0.0, predicted_h2d = 0.0;
+  double wall_fetch = 0.0, wall_sync = 0.0, wall_allgather = 0.0;
+  double wall_total = 0.0;
+};
+
+void print_phase(const char* policy, const char* phase, double wall,
+                 double predicted) {
+  if (predicted > 0.0) {
+    std::printf("  %-26s %-10s %12.6f s %14.6f s %10.3g\n", policy, phase,
+                wall, predicted, wall / predicted);
+  } else {
+    std::printf("  %-26s %-10s %12.6f s %14s %10s\n", policy, phase, wall,
+                "-", "-");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto nnz = static_cast<nnz_t>(args.get_int("nnz", 120000));
+  const auto rank = static_cast<std::size_t>(args.get_int("rank", 32));
+  const int threads = static_cast<int>(args.get_int("threads", 4));
+  set_host_parallelism(threads);
+
+  GeneratorOptions gen;
+  gen.dims = {768, 512, 384};
+  gen.nnz = nnz;
+  gen.zipf_exponents = {0.8, 0.6, 0.4};
+  gen.seed = 41;
+  const auto input = generate_random(gen);
+  Rng rng(42);
+  FactorSet factors(input.dims(), rank, rng);
+  AmpedBuildOptions build;
+  build.num_gpus = 4;
+  const auto tensor = AmpedTensor::build(input, build);
+
+  const PlatformCase platforms[] = {
+      {"4x RTX 6000 Ada (homogeneous)", &homogeneous},
+      {"2x RTX 6000 Ada + 2x RTX A4000 (heterogeneous)", &heterogeneous},
+  };
+  const std::pair<SchedulingPolicy, bool> policies[] = {
+      {SchedulingPolicy::kStaticGreedy, false},
+      {SchedulingPolicy::kStaticGreedy, true},
+      {SchedulingPolicy::kWeightedStatic, false},
+      {SchedulingPolicy::kCostModel, false},
+      {SchedulingPolicy::kDynamicQueue, false},
+      {SchedulingPolicy::kDynamicLookahead, false},
+  };
+
+  std::printf("backend validation: %s, rank %zu, %d host worker threads\n",
+              input.shape_string().c_str(), rank, threads);
+  std::printf("predicted = cost-model seconds on the simulated devices; "
+              "measured = wall clock of the same kernels on this host\n");
+
+  for (const auto& pc : platforms) {
+    std::printf("\n== %s ==\n", pc.name.c_str());
+    std::printf("  %-26s %-10s %14s %16s %10s\n", "policy", "phase",
+                "measured-wall", "predicted-sim", "ratio");
+    for (const auto& [policy, pipelined] : policies) {
+      MttkrpOptions options;
+      options.policy = policy;
+      options.pipelined_streaming = pipelined;
+      options.backend = exec::ExecBackend::kHostParallel;
+      auto platform = pc.make();
+
+      PhaseTotals t;
+      for (std::size_t d = 0; d < tensor.num_modes(); ++d) {
+        DenseMatrix out(tensor.dims()[d], factors.rank());
+        const exec::ModeLowerInput in{
+            platform, tensor, d, factors, out, options,
+            resolve_mttkrp_profile(options, tensor, d, platform,
+                                   factors.rank())};
+        auto plan = exec::make_scheduler(options)->lower(in);
+        exec::PlanExecutor executor(platform,
+                                    exec::ExecBackend::kHostParallel);
+        const auto report = executor.run(plan);
+        for (double s : report.per_gpu_compute) t.wall_compute += s;
+        for (double s : report.per_gpu_predicted_compute) {
+          t.predicted_compute += s;
+        }
+        t.wall_h2d += report.wall_h2d;
+        t.predicted_h2d += report.predicted_h2d;
+        t.wall_fetch += report.wall_spill_fetch;
+        t.wall_sync += report.wall_sync;
+        t.wall_allgather += report.wall_allgather;
+        t.wall_total += report.wall_seconds;
+      }
+
+      const std::string name =
+          to_string(policy) + (pipelined ? "+pipelined" : "");
+      print_phase(name.c_str(), "kernel", t.wall_compute,
+                  t.predicted_compute);
+      print_phase(name.c_str(), "h2d", t.wall_h2d, t.predicted_h2d);
+      print_phase(name.c_str(), "fetch", t.wall_fetch, 0.0);
+      print_phase(name.c_str(), "sync", t.wall_sync, 0.0);
+      print_phase(name.c_str(), "allgather", t.wall_allgather, 0.0);
+      print_phase(name.c_str(), "total", t.wall_total, 0.0);
+    }
+  }
+  set_host_parallelism(0);
+  return 0;
+}

@@ -10,6 +10,7 @@ option(AMPED_BUILD_EXAMPLES "Build the example programs in examples/" ON)
 option(AMPED_WERROR "Treat compiler warnings as errors" OFF)
 option(AMPED_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
 option(AMPED_TSAN "Build with ThreadSanitizer (mutually exclusive with AMPED_SANITIZE)" OFF)
+option(AMPED_COVERAGE "Build with gcov instrumentation (--coverage) for line-rate reports" OFF)
 option(AMPED_ENABLE_OPENMP "Link OpenMP if available (used by util/thread_pool consumers)" OFF)
 option(AMPED_NATIVE_ARCH "Compile for the host CPU (-march=native); the EC kernel's hadamard/accumulate loops vectorise substantially wider with AVX2+" ON)
 
@@ -49,6 +50,14 @@ if(AMPED_TSAN)
   # runtime too, or its synchronisation looks like races to the tool.
   add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
   add_link_options(-fsanitize=thread)
+endif()
+
+if(AMPED_COVERAGE)
+  # Global so the test binaries' own TUs are counted too. Atomic profile
+  # updates: the host backend and thread pool run instrumented code on
+  # many threads, and non-atomic counters lose ticks (and trip TSan).
+  add_compile_options(--coverage -fprofile-update=atomic)
+  add_link_options(--coverage)
 endif()
 
 if(AMPED_NATIVE_ARCH AND CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")

@@ -10,6 +10,11 @@
 //                                 weighted-static, cost-model)
 //   --allgather direct            factor exchange (ring, direct, host-staged)
 //   --pipelined                   double-buffered shard streaming
+//   --backend sim|host            run plans on the simulated platform
+//                                 (default) or for real on host threads
+//                                 (exec/host_backend.hpp)
+//   --trace out.json              write a Chrome-format timeline of the
+//                                 simulated run (sim backend only)
 //
 // Storage-engine flags:
 //   --write-snapshot out.amptns   convert the input to a v2 snapshot
@@ -35,7 +40,9 @@
 
 #include "core/batch.hpp"
 #include "core/cpd.hpp"
+#include "exec/backend.hpp"
 #include "exec/scheduler.hpp"
+#include "sim/trace.hpp"
 #include "io/mapped_tensor.hpp"
 #include "io/memory_budget.hpp"
 #include "io/snapshot.hpp"
@@ -164,9 +171,11 @@ int run_batch(const amped::CliArgs& args, amped::CpdOptions opt, int gpus,
   }
   for (const auto& t : tensors) tensor_ptrs.push_back(&t);
 
-  std::printf("execution: %s scheduler, %s all-gather, %zu-tensor batch\n",
+  std::printf("execution: %s scheduler, %s all-gather, %s backend, "
+              "%zu-tensor batch\n",
               exec::make_scheduler(opt.mttkrp)->name().c_str(),
-              to_string(opt.mttkrp.allgather).c_str(), tensors.size());
+              to_string(opt.mttkrp.allgather).c_str(),
+              to_string(opt.mttkrp.backend).c_str(), tensors.size());
 
   auto platform = sim::make_default_platform(gpus);
   BatchReport report;
@@ -240,6 +249,17 @@ int main(int argc, char** argv) {
   const auto rank = static_cast<std::size_t>(args.get_int("rank", 16));
   const auto iters = static_cast<std::size_t>(args.get_int("iters", 15));
   const std::string output = args.get("output", "model.ampfac");
+  const bool host_backend =
+      opt.mttkrp.backend == exec::ExecBackend::kHostParallel;
+
+  // Options that only make sense against the simulated clock must not
+  // silently fall back to simulating: refuse the combination outright.
+  if (host_backend && args.has("trace")) {
+    std::fprintf(stderr,
+                 "usage error: --trace records the simulated timeline and "
+                 "cannot be combined with --backend host\n");
+    return 2;
+  }
 
   if (args.has("batch")) {
     opt.rank = rank;
@@ -312,18 +332,33 @@ int main(int argc, char** argv) {
               io::format_bytes(tensor.total_bytes()).c_str());
 
   auto platform = sim::make_default_platform(gpus);
+  sim::TraceLog trace;
+  if (args.has("trace")) platform.attach_trace(&trace);
   opt.rank = rank;
   opt.max_iterations = iters;
   // The scheduler name is the effective configuration: dynamic-queue
   // streams sequentially even under --pipelined, and the name says so.
-  std::printf("execution: %s scheduler, %s all-gather\n",
+  std::printf("execution: %s scheduler, %s all-gather, %s backend\n",
               exec::make_scheduler(opt.mttkrp)->name().c_str(),
-              to_string(opt.mttkrp.allgather).c_str());
+              to_string(opt.mttkrp.allgather).c_str(),
+              to_string(opt.mttkrp.backend).c_str());
   const CpdResult result = cp_als(platform, tensor, opt);
-  std::printf("CPD rank-%zu: fit %.4f in %zu iterations (simulated MTTKRP "
-              "%.4f s on %d GPU%s)\n",
-              rank, result.fit, result.iterations,
-              result.mttkrp_sim_seconds, gpus, gpus == 1 ? "" : "s");
+  if (host_backend) {
+    std::printf("CPD rank-%zu: fit %.4f in %zu iterations (measured MTTKRP "
+                "wall %.4f s on %d host lane%s)\n",
+                rank, result.fit, result.iterations,
+                result.mttkrp_sim_seconds, gpus, gpus == 1 ? "" : "s");
+  } else {
+    std::printf("CPD rank-%zu: fit %.4f in %zu iterations (simulated MTTKRP "
+                "%.4f s on %d GPU%s)\n",
+                rank, result.fit, result.iterations,
+                result.mttkrp_sim_seconds, gpus, gpus == 1 ? "" : "s");
+  }
+  if (args.has("trace")) {
+    const std::string trace_path = args.get("trace", "trace.json");
+    trace.write_chrome_json_file(trace_path);
+    std::printf("simulated timeline written to %s\n", trace_path.c_str());
+  }
   if (budget.limit() != 0) {
     std::printf("tracked host memory peak: %s of %s budget\n",
                 io::format_bytes(budget.peak()).c_str(),

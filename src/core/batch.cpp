@@ -56,11 +56,13 @@ StepOutcome run_composed_mode(sim::Platform& platform,
 
   StepOutcome outcome;
   exec::Plan composed = exec::compose(plans, &outcome.info);
-  exec::PlanExecutor executor(platform);
+  exec::PlanExecutor executor(platform, options.backend);
   outcome.report = executor.run(composed);
 
   for (int g = 0; g < m; ++g) platform.gpu(g).free(factor_bytes);
-  outcome.seconds = platform.makespan() - t0;
+  outcome.seconds = options.backend == exec::ExecBackend::kHostParallel
+                        ? outcome.report.wall_seconds
+                        : platform.makespan() - t0;
   return outcome;
 }
 
@@ -117,7 +119,14 @@ BatchReport mttkrp_batch(sim::Platform& platform,
     const auto outcome = run_composed_mode(platform, items, d, options);
     record_step(report, outcome, items, d);
   }
-  report.total_seconds = platform.makespan() - t0;
+  if (options.backend == exec::ExecBackend::kHostParallel) {
+    report.total_seconds = 0.0;
+    for (const auto& step : report.steps) {
+      report.total_seconds += step.seconds;
+    }
+  } else {
+    report.total_seconds = platform.makespan() - t0;
+  }
   return report;
 }
 
@@ -166,7 +175,14 @@ std::vector<CpdResult> cpd_batch(sim::Platform& platform,
       if (!s.done()) s.finish_iteration();
     }
   }
-  local.total_seconds = platform.makespan() - t0;
+  if (options.mttkrp.backend == exec::ExecBackend::kHostParallel) {
+    local.total_seconds = 0.0;
+    for (const auto& step : local.steps) {
+      local.total_seconds += step.seconds;
+    }
+  } else {
+    local.total_seconds = platform.makespan() - t0;
+  }
 
   std::vector<CpdResult> results;
   results.reserve(states.size());

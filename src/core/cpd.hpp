@@ -33,7 +33,9 @@ struct CpdResult {
   double fit = 0.0;             // 1 - ||X - X_hat||_F / ||X||_F
   std::size_t iterations = 0;
   bool converged = false;
-  double mttkrp_sim_seconds = 0.0;  // simulated MTTKRP time, all iterations
+  // MTTKRP time across all iterations: simulated seconds under the
+  // default backend, measured wall seconds under ExecBackend::kHostParallel.
+  double mttkrp_sim_seconds = 0.0;
   std::vector<double> fit_history;  // fit after each iteration
 };
 

@@ -15,6 +15,7 @@
 #include "core/allgather.hpp"
 #include "core/amped_tensor.hpp"
 #include "core/partition.hpp"
+#include "exec/backend.hpp"
 #include "sim/platform.hpp"
 #include "tensor/dense_matrix.hpp"
 
@@ -33,6 +34,11 @@ struct MttkrpOptions {
   // this switch quantifies what pipelining would buy (ablation A6).
   // Applies to the static policies; dynamic dispatch stays sequential.
   bool pipelined_streaming = false;
+  // Which machine runs the lowered plans: the clock-charging simulator
+  // (default; every timing below is modelled) or the real host-parallel
+  // backend (exec/host_backend.hpp; timings are measured wall clock).
+  // Factor outputs are bit-identical either way.
+  exec::ExecBackend backend = exec::ExecBackend::kSimulated;
   // Full-scale mode sizes for the cache model (empty = use the tensor's
   // own dims). Benchmarks running scaled-down Table 3 profiles pass the
   // profile's real dims so factor-matrix cacheability is decided at full

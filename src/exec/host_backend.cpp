@@ -1,0 +1,533 @@
+#include "exec/host_backend.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace amped::exec {
+
+std::string to_string(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kSimulated:
+      return "sim";
+    case ExecBackend::kHostParallel:
+      return "host";
+  }
+  return "?";
+}
+
+ExecBackend parse_backend(const std::string& name) {
+  if (name == "sim" || name == "simulated") return ExecBackend::kSimulated;
+  if (name == "host" || name == "host-parallel") {
+    return ExecBackend::kHostParallel;
+  }
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (expected: sim, host)");
+}
+
+namespace {
+
+// Lane-private "device global memory": the staged copy of one shard
+// payload plus the view the kernel reads it through. A CUDA port swaps
+// the owned tensor for a device allocation; the view indirection (data +
+// absolute base) is unchanged.
+struct DeviceBuffer {
+  CooTensor elements;
+  io::ShardStreamer::View view;
+  bool valid = false;
+};
+
+// The real H2D: copies elements [begin, end) of the stream view into
+// `buf`. After this the kernel reads `buf`, never the stream view, so
+// the streamer is free to recycle its buffer for the next position.
+void stage_payload(const io::ShardStreamer::View& src_view, nnz_t begin,
+                   nnz_t end, DeviceBuffer& buf) {
+  const CooTensor& src = *src_view.data;
+  assert(begin >= src_view.base && end <= src_view.base + src.nnz() &&
+         "H2D payload outside its stream view");
+  const auto lo = static_cast<std::ptrdiff_t>(begin - src_view.base);
+  const auto hi = static_cast<std::ptrdiff_t>(end - src_view.base);
+  std::vector<std::vector<index_t>> cols(src.num_modes());
+  for (std::size_t mode = 0; mode < src.num_modes(); ++mode) {
+    const auto idx = src.indices(mode);
+    cols[mode].assign(idx.begin() + lo, idx.begin() + hi);
+  }
+  const auto vals = src.values();
+  buf.elements = CooTensor::from_parts(
+      src.dims(), std::move(cols),
+      std::vector<value_t>(vals.begin() + lo, vals.begin() + hi));
+  buf.view = {&buf.elements, begin};
+  buf.valid = true;
+}
+
+// Per-lane (or per-dynamic-worker) accounting, merged into the
+// ExecReport after the lane's thread has been joined — no concurrent
+// writes to shared report state anywhere.
+struct LaneStats {
+  double fetch = 0.0;
+  double h2d = 0.0;
+  double d2h = 0.0;
+  double predicted_h2d = 0.0;
+  double compute = 0.0;            // measured kernel wall seconds
+  double predicted_compute = 0.0;  // cost-model seconds from the closures
+  double end = -1.0;  // run-clock offset when the lane finished (-1 = idle)
+  std::vector<double> scope_compute;
+  std::vector<std::uint64_t> scope_rows;
+};
+
+struct RunContext {
+  sim::Platform& platform;
+  Plan& plan;
+  const WallTimer& clock;  // whole-run timer; lane-end offsets read it
+};
+
+// Groups `ids` into dispatch units: consecutive tasks through their
+// closing kernel (the same unit boundary the simulator's dynamic
+// dispatch uses).
+std::vector<std::vector<std::size_t>> split_units(
+    const Plan& plan, const std::vector<std::size_t>& ids) {
+  std::vector<std::vector<std::size_t>> units;
+  std::vector<std::size_t> unit;
+  for (std::size_t id : ids) {
+    unit.push_back(id);
+    if (plan.tasks[id].kind == TaskKind::kKernel) {
+      units.push_back(std::move(unit));
+      unit.clear();
+    }
+  }
+  assert(unit.empty() && "lane must end each unit with a kernel");
+  return units;
+}
+
+bool annotated(const Task& t) { return t.payload_end > t.payload_begin; }
+
+// Sequential engine: one thread runs the lane's tasks in program order —
+// acquire, stage, compute, copy back. Also the fallback for lanes whose
+// transfers carry no payload annotation (baseline lowerings), where the
+// kernel reads the stream view directly like the simulator's lanes.
+void run_lane_sequential(RunContext& rc, int gpu,
+                         const std::vector<std::size_t>& ids,
+                         LaneStats& stats) {
+  Plan& plan = rc.plan;
+  io::ShardStreamer::View view;
+  bool have_view = false;
+  DeviceBuffer staged;
+  std::vector<unsigned char> bounce_src, bounce_dst;
+  for (std::size_t id : ids) {
+    Task& t = plan.tasks[id];
+    switch (t.kind) {
+      case TaskKind::kSpillFetch: {
+        WallTimer w;
+        view = plan.streamers[t.streamer]->acquire(t.stream_pos);
+        have_view = true;
+        stats.fetch += w.seconds();
+        break;
+      }
+      case TaskKind::kH2D: {
+        WallTimer w;
+        if (annotated(t)) {
+          assert(have_view && "annotated H2D with no stream view");
+          stage_payload(view, t.payload_begin, t.payload_end, staged);
+        } else {
+          staged.valid = false;
+        }
+        stats.h2d += w.seconds();
+        stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
+        break;
+      }
+      case TaskKind::kD2H: {
+        // Partial results already live in host memory; move the same
+        // byte count through a bounce buffer so the transfer is a real
+        // copy of the plan's size — the slot a device port fills with a
+        // genuine device-to-host DMA.
+        WallTimer w;
+        bounce_src.resize(t.transfer_bytes);
+        bounce_dst.resize(t.transfer_bytes);
+        if (t.transfer_bytes) {
+          std::memcpy(bounce_dst.data(), bounce_src.data(),
+                      t.transfer_bytes);
+        }
+        stats.d2h += w.seconds();
+        break;
+      }
+      case TaskKind::kKernel: {
+        const ExecContext ctx{rc.platform, gpu,
+                              staged.valid ? &staged.view
+                                           : (have_view ? &view : nullptr)};
+        WallTimer w;
+        const double predicted = t.kernel(ctx);
+        const double wall = w.seconds();
+        stats.compute += wall;
+        stats.predicted_compute += predicted;
+        stats.scope_compute[t.scope] += wall;
+        stats.scope_rows[t.scope] += t.owned_rows;
+        break;
+      }
+      default:
+        assert(false && "global task inside a lane");
+    }
+  }
+  stats.end = rc.clock.seconds();
+}
+
+// Pipelined engine: a copy thread stages unit i+1 (acquire + H2D into a
+// depth-2 ring of device buffers) while the calling thread computes unit
+// i — real transfer/compute overlap, the host realisation of the
+// device's double-buffered copy engine. The kernel's dependency on its
+// H2D (Task::deps) is honoured by the ring's producer/consumer order.
+void run_lane_pipelined(RunContext& rc, int gpu,
+                        const std::vector<std::size_t>& ids,
+                        LaneStats& stats) {
+  for (std::size_t id : ids) {
+    const Task& t = rc.plan.tasks[id];
+    if (t.kind == TaskKind::kH2D && !annotated(t)) {
+      // No payload annotation means the kernel would read the shared
+      // stream view, which the copy engine's next acquire invalidates —
+      // overlap is impossible, run the lane sequentially instead.
+      run_lane_sequential(rc, gpu, ids, stats);
+      return;
+    }
+  }
+  const auto units = split_units(rc.plan, ids);
+  if (units.empty()) {
+    stats.end = rc.clock.seconds();
+    return;
+  }
+
+  DeviceBuffer ring[2];
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t staged_count = 0;
+  std::size_t consumed = 0;
+  std::exception_ptr copy_error;
+
+  // Copy engine. Writes only the fetch/h2d stats fields; the compute
+  // thread writes only the compute fields — disjoint members, and the
+  // join below orders everything before the caller reads them.
+  std::thread copy([&] {
+    try {
+      io::ShardStreamer::View view;
+      [[maybe_unused]] bool have_view = false;
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        {
+          std::unique_lock lock(mu);
+          cv.wait(lock, [&] { return staged_count - consumed < 2; });
+        }
+        for (std::size_t id : units[u]) {
+          Task& t = rc.plan.tasks[id];
+          if (t.kind == TaskKind::kSpillFetch) {
+            WallTimer w;
+            view = rc.plan.streamers[t.streamer]->acquire(t.stream_pos);
+            have_view = true;
+            stats.fetch += w.seconds();
+          } else if (t.kind == TaskKind::kH2D) {
+            WallTimer w;
+            assert(have_view && "annotated H2D with no stream view");
+            stage_payload(view, t.payload_begin, t.payload_end,
+                          ring[u % 2]);
+            stats.h2d += w.seconds();
+            stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
+          }
+        }
+        {
+          std::lock_guard lock(mu);
+          ++staged_count;
+        }
+        cv.notify_all();
+      }
+    } catch (...) {
+      std::lock_guard lock(mu);
+      copy_error = std::current_exception();
+      cv.notify_all();
+    }
+  });
+
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return staged_count > u || copy_error; });
+      if (copy_error) break;
+    }
+    for (std::size_t id : units[u]) {
+      Task& t = rc.plan.tasks[id];
+      if (t.kind != TaskKind::kKernel) continue;
+      const ExecContext ctx{rc.platform, gpu,
+                            ring[u % 2].valid ? &ring[u % 2].view : nullptr};
+      WallTimer w;
+      const double predicted = t.kernel(ctx);
+      const double wall = w.seconds();
+      stats.compute += wall;
+      stats.predicted_compute += predicted;
+      stats.scope_compute[t.scope] += wall;
+      stats.scope_rows[t.scope] += t.owned_rows;
+    }
+    {
+      std::lock_guard lock(mu);
+      ++consumed;
+    }
+    cv.notify_all();
+  }
+  copy.join();
+  if (copy_error) std::rethrow_exception(copy_error);
+  stats.end = rc.clock.seconds();
+}
+
+// Dynamic dispatch (plain and look-ahead): one worker thread per GPU
+// pulls dispatch units from a shared cursor — the work queue is a real
+// queue, so load balancing follows measured execution speed the same
+// way the simulator's earliest-idle-clock dispatch follows modelled
+// speed. Acquire + stage happen under the dispatch lock (streamer
+// positions must be taken in order, and position p's view dies at
+// acquire(p+1) — the lock serialises exactly that window); the kernel
+// runs outside it.
+void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
+                 std::vector<LaneStats>& per_gpu) {
+  Plan& plan = rc.plan;
+  const int m = rc.platform.num_gpus();
+  const auto units = split_units(plan, ids);
+
+  bool all_annotated = true;
+  for (std::size_t id : ids) {
+    const Task& t = plan.tasks[id];
+    if (t.kind == TaskKind::kH2D && !annotated(t)) all_annotated = false;
+  }
+  if (!all_annotated || m <= 1 || host_parallelism() <= 1 ||
+      units.size() <= 1) {
+    // Serial fallback: units round-robin across GPUs so per-GPU
+    // accounting still spreads (and unannotated kernels can read the
+    // stream view without a racing acquire).
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      run_lane_sequential(rc, static_cast<int>(u % m), units[u],
+                          per_gpu[u % m]);
+    }
+    return;
+  }
+
+  std::mutex dispatch;
+  std::size_t next = 0;
+  io::ShardStreamer::View shared_view;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(m));
+  for (int g = 0; g < m; ++g) {
+    workers.emplace_back([&, g] {
+      auto& stats = per_gpu[static_cast<std::size_t>(g)];
+      try {
+        DeviceBuffer staged;
+        std::vector<unsigned char> bounce_src, bounce_dst;
+        bool ran = false;
+        for (;;) {
+          std::size_t u;
+          {
+            std::unique_lock lock(dispatch);
+            if (next == units.size()) break;
+            u = next++;
+            for (std::size_t id : units[u]) {
+              Task& t = plan.tasks[id];
+              if (t.kind == TaskKind::kSpillFetch) {
+                WallTimer w;
+                shared_view = plan.streamers[t.streamer]->acquire(
+                    t.stream_pos);
+                stats.fetch += w.seconds();
+              } else if (t.kind == TaskKind::kH2D) {
+                WallTimer w;
+                stage_payload(shared_view, t.payload_begin, t.payload_end,
+                              staged);
+                stats.h2d += w.seconds();
+                stats.predicted_h2d +=
+                    rc.platform.h2d_seconds(t.transfer_bytes);
+              }
+            }
+          }
+          ran = true;
+          for (std::size_t id : units[u]) {
+            Task& t = plan.tasks[id];
+            if (t.kind == TaskKind::kD2H) {
+              WallTimer w;
+              bounce_src.resize(t.transfer_bytes);
+              bounce_dst.resize(t.transfer_bytes);
+              if (t.transfer_bytes) {
+                std::memcpy(bounce_dst.data(), bounce_src.data(),
+                            t.transfer_bytes);
+              }
+              stats.d2h += w.seconds();
+            } else if (t.kind == TaskKind::kKernel) {
+              const ExecContext ctx{rc.platform, g,
+                                    staged.valid ? &staged.view : nullptr};
+              WallTimer w;
+              const double predicted = t.kernel(ctx);
+              const double wall = w.seconds();
+              stats.compute += wall;
+              stats.predicted_compute += predicted;
+              stats.scope_compute[t.scope] += wall;
+              stats.scope_rows[t.scope] += t.owned_rows;
+            }
+          }
+        }
+        if (ran) stats.end = rc.clock.seconds();
+      } catch (...) {
+        errors[static_cast<std::size_t>(g)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace
+
+ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
+  const int m = platform.num_gpus();
+  const std::size_t scopes = plan.num_scopes();
+  ExecReport report;
+  report.per_gpu_compute.assign(static_cast<std::size_t>(m), 0.0);
+  report.per_gpu_predicted_compute.assign(static_cast<std::size_t>(m), 0.0);
+  report.scope_gpu_compute.assign(
+      scopes, std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  report.scope_owned_rows.assign(
+      scopes, std::vector<std::uint64_t>(static_cast<std::size_t>(m), 0));
+
+  const WallTimer run_clock;
+  RunContext rc{platform, plan, run_clock};
+
+  auto make_stats = [&] {
+    LaneStats s;
+    s.scope_compute.assign(scopes, 0.0);
+    s.scope_rows.assign(scopes, 0);
+    return s;
+  };
+
+  // Folds one joined lane's books into the report; `flush_end` converts
+  // the lane's finish offset into its barrier stall.
+  auto merge = [&](int gpu, const LaneStats& s, double flush_end) {
+    const auto g = static_cast<std::size_t>(gpu);
+    report.per_gpu_compute[g] += s.compute;
+    report.per_gpu_predicted_compute[g] += s.predicted_compute;
+    report.wall_spill_fetch += s.fetch;
+    report.wall_h2d += s.h2d;
+    report.wall_d2h += s.d2h;
+    report.predicted_h2d += s.predicted_h2d;
+    for (std::size_t sc = 0; sc < scopes; ++sc) {
+      report.scope_gpu_compute[sc][g] += s.scope_compute[sc];
+      report.scope_owned_rows[sc][g] += s.scope_rows[sc];
+    }
+    if (s.end >= 0.0) {
+      report.wall_sync += std::max(0.0, flush_end - s.end);
+    }
+  };
+
+  std::vector<std::size_t> segment;
+  auto flush = [&] {
+    if (segment.empty()) return;
+    if (plan.tasks[segment.front()].gpu == kAnyGpu) {
+      // Both dynamic disciplines realise as the shared unit queue: the
+      // look-ahead variant's copy/compute overlap emerges from worker g
+      // staging its next unit while worker h computes.
+      std::vector<LaneStats> per_gpu(static_cast<std::size_t>(m),
+                                     make_stats());
+      run_dynamic(rc, segment, per_gpu);
+      const double flush_end = run_clock.seconds();
+      for (int g = 0; g < m; ++g) {
+        merge(g, per_gpu[static_cast<std::size_t>(g)], flush_end);
+      }
+      segment.clear();
+      return;
+    }
+    std::vector<std::vector<std::size_t>> lanes(static_cast<std::size_t>(m));
+    for (std::size_t id : segment) {
+      const int gpu = plan.tasks[id].gpu;
+      assert(gpu >= 0 && gpu < m && "mixed dynamic/static segment");
+      lanes[static_cast<std::size_t>(gpu)].push_back(id);
+    }
+    std::vector<int> active;
+    for (int g = 0; g < m; ++g) {
+      if (!lanes[static_cast<std::size_t>(g)].empty()) active.push_back(g);
+    }
+    std::vector<LaneStats> stats(active.size(), make_stats());
+    auto run_lane = [&](std::size_t i) {
+      const int g = active[i];
+      const auto& ids = lanes[static_cast<std::size_t>(g)];
+      if (plan.pipelined) {
+        run_lane_pipelined(rc, g, ids, stats[i]);
+      } else {
+        run_lane_sequential(rc, g, ids, stats[i]);
+      }
+    };
+    if (plan.parallel_lanes && active.size() > 1 && host_parallelism() > 1) {
+      // Dedicated threads, not the global pool: lane bodies block (a
+      // streamer acquire waits on pool read-ahead tasks) and pipelined
+      // lanes spawn their own copy engines; keeping lanes off the pool
+      // leaves it free to be the streamers' read-ahead executor.
+      std::vector<std::exception_ptr> errors(active.size());
+      std::vector<std::thread> threads;
+      threads.reserve(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        threads.emplace_back([&, i] {
+          try {
+            run_lane(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      for (auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    } else {
+      for (std::size_t i = 0; i < active.size(); ++i) run_lane(i);
+    }
+    const double flush_end = run_clock.seconds();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      merge(active[i], stats[i], flush_end);
+    }
+    segment.clear();
+  };
+
+  for (std::size_t id = 0; id < plan.tasks.size(); ++id) {
+    Task& t = plan.tasks[id];
+    switch (t.kind) {
+      case TaskKind::kBarrier:
+        // Joining the lane threads in flush() IS the barrier.
+        flush();
+        break;
+      case TaskKind::kAllGather: {
+        flush();
+        // Factor mirrors are shared host memory, so there is nothing to
+        // exchange — the task contributes its ordering edge (after the
+        // barrier, before the next segment) and its measured cost. A
+        // device port replaces this branch with real peer copies sized
+        // scope_owned_rows[scope][g] * row_bytes, like the simulator.
+        WallTimer w;
+        report.wall_allgather += w.seconds();
+        break;
+      }
+      case TaskKind::kHostOp: {
+        flush();
+        WallTimer w;
+        t.host_op(platform);
+        report.wall_host_op += w.seconds();
+        break;
+      }
+      default:
+        segment.push_back(id);
+    }
+  }
+  flush();
+  report.wall_seconds = run_clock.seconds();
+  return report;
+}
+
+}  // namespace amped::exec

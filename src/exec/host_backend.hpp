@@ -1,0 +1,60 @@
+// Real host-parallel execution of Plans: the second PlanExecutor backend.
+//
+// The simulator interprets a plan against modelled clocks; this backend
+// *runs* it. The engine/stream vocabulary maps one-to-one onto host
+// resources, deliberately shaped like a future CUDA/HIP port — swap the
+// thread for a stream and the staging buffer for device global memory
+// and the structure is unchanged:
+//
+//   simulated concept          host realisation
+//   ------------------------   ------------------------------------------
+//   GPU lane (sequential)      one dedicated worker thread per lane
+//   copy engine (pipelined)    a second thread per lane staging shard
+//                              i+1 while the compute thread runs shard i
+//                              (depth-2 producer/consumer ring, mirroring
+//                              the device's double buffer)
+//   dynamic queue (kAnyGpu)    one worker thread per GPU pulling dispatch
+//                              units from a shared cursor
+//   SpillFetch                 ShardStreamer::acquire (real disk/copy I/O)
+//   H2D                        copying the shard's elements out of the
+//                              stream view into a lane-private staging
+//                              tensor (the "device global memory" the
+//                              kernel reads)
+//   Kernel                     the PR 2 EC kernels on the staged payload —
+//                              the same closures the simulator runs, so
+//                              outputs are bit-identical by construction
+//   D2H                        a real buffer copy of the partial-result
+//                              bytes through a lane-private bounce buffer
+//   Barrier                    joining the lane threads
+//   AllGather                  a synchronisation point only: factors
+//                              already live in shared host memory, so the
+//                              exchange is a no-op whose dependency edges
+//                              (after the barrier, before the next mode)
+//                              still hold — the seam where a device port
+//                              would insert real peer copies
+//   HostOp                     the closure, called on the driving thread
+//
+// Timing: every task is measured with WallTimer and accumulated into the
+// ExecReport wall_* fields; kernel closures also return the cost model's
+// predicted seconds for the executing device, so one host run produces
+// (measured, predicted) pairs per GPU — the data bench_backend_validation
+// turns into a calibration report.
+//
+// Bit-identity: AMPED shards of one mode own disjoint output rows, so
+// any interleaving of lane threads (and any dynamic assignment of units
+// to workers) writes disjoint memory and produces bytes equal to the
+// serial order. Plans that do not guarantee this set parallel_lanes =
+// false and run serially here, exactly like the simulator.
+#pragma once
+
+#include "exec/plan.hpp"
+
+namespace amped::exec {
+
+// Executes `plan` for real on the host. `platform` supplies device specs
+// for the cost-model queries inside kernel closures (its clocks are
+// never advanced, except by the plan's own HostOp closures). Called by
+// PlanExecutor::run when the backend is kHostParallel.
+ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan);
+
+}  // namespace amped::exec

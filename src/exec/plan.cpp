@@ -6,6 +6,7 @@
 #include <queue>
 #include <utility>
 
+#include "exec/host_backend.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped::exec {
@@ -23,6 +24,9 @@ std::string shard_label(const Task& t) {
 }  // namespace
 
 ExecReport PlanExecutor::run(Plan& plan) {
+  if (backend_ == ExecBackend::kHostParallel) {
+    return run_plan_host_parallel(platform_, plan);
+  }
   const int m = platform_.num_gpus();
   const std::size_t scopes = plan.num_scopes();
   ExecReport report;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/allgather.hpp"
+#include "exec/backend.hpp"
 #include "io/shard_stream.hpp"
 #include "sim/platform.hpp"
 #include "tensor/types.hpp"
@@ -113,6 +114,13 @@ struct Task {
   // memory meter before the transfer (0 = no allocation tracked).
   std::uint64_t transfer_bytes = 0;
   std::uint64_t alloc_bytes = 0;
+  // kH2D: the absolute nonzero range of the lane's current stream view
+  // this transfer stages (begin == end when the lowering did not
+  // annotate it). The simulator only needs transfer_bytes; the host
+  // backend uses the range to perform the copy for real — staging
+  // exactly these elements into a device buffer the kernel then reads.
+  nnz_t payload_begin = 0;
+  nnz_t payload_end = 0;
 
   // kKernel.
   KernelFn kernel;
@@ -160,7 +168,9 @@ struct Plan {
 struct ExecReport {
   // EC seconds charged per GPU, summed over scopes (sized to the
   // platform's GPU count; idle GPUs report 0.0). Feeds
-  // ModeBreakdown::per_gpu_compute.
+  // ModeBreakdown::per_gpu_compute. Under the simulated backend these
+  // are modelled grid seconds; under the host backend they are measured
+  // wall seconds of the same kernels.
   std::vector<double> per_gpu_compute;
   // Per-scope splits of the same accounting: [scope][gpu]. Solo plans
   // have exactly one scope; composed plans report one row per source
@@ -169,19 +179,43 @@ struct ExecReport {
   // Output rows owned per scope per GPU, accumulated from executed
   // kernels; sizes each scope's all-gather.
   std::vector<std::vector<std::uint64_t>> scope_owned_rows;
+
+  // Host-backend measurements (all zero under the simulator). Wall
+  // seconds are real elapsed time on the executing machine; the
+  // predicted columns are what the cost model priced the same work at,
+  // collected from the very same kernel closures, so a single host run
+  // yields directly comparable (measured, predicted) pairs.
+  double wall_seconds = 0.0;     // whole-plan wall time
+  double wall_spill_fetch = 0.0; // summed stream-view acquisition
+  double wall_h2d = 0.0;         // summed payload staging copies
+  double wall_d2h = 0.0;         // summed result copy-back
+  double wall_sync = 0.0;        // summed barrier stalls (flush - lane end)
+  double wall_allgather = 0.0;   // summed all-gather steps
+  double wall_host_op = 0.0;     // summed host-side ops
+  // Modelled EC seconds per GPU for the kernels each GPU actually ran
+  // (same shape as per_gpu_compute). For a deterministic (static)
+  // assignment this equals the simulator's per_gpu_compute exactly.
+  std::vector<double> per_gpu_predicted_compute;
+  double predicted_h2d = 0.0;    // modelled seconds of the staged transfers
 };
 
 // Runs any plan on the platform: per-GPU lanes (parallel when the plan
 // allows and tracing is off), dynamic dispatch for kAnyGpu tasks, and
 // global tasks (barrier / all-gather / host ops) in plan order.
+// `backend` selects the machine: the clock-charging simulator (default)
+// or the real host-parallel executor (exec/host_backend.hpp) — same
+// outputs, measured instead of modelled time.
 class PlanExecutor {
  public:
-  explicit PlanExecutor(sim::Platform& platform) : platform_(platform) {}
+  explicit PlanExecutor(sim::Platform& platform,
+                        ExecBackend backend = ExecBackend::kSimulated)
+      : platform_(platform), backend_(backend) {}
 
   ExecReport run(Plan& plan);
 
  private:
   sim::Platform& platform_;
+  ExecBackend backend_;
 };
 
 }  // namespace amped::exec

@@ -48,12 +48,24 @@ ShardCost prepare_shard(sim::Platform& platform, int gpu,
   }
 
   const nnz_t shard_base = shard.nnz_begin - view.base;
+  // Canonical accumulation grouping (kept in lockstep with
+  // make_shard_kernel): the arithmetic runs once over the whole shard so
+  // the output bits do not depend on the executing device's sm_count;
+  // the device-dependent ISP split only prices the grid, via an
+  // index-only stats rescan.
+  run_ec_block(*view.data, shard_base,
+               shard_base + static_cast<nnz_t>(shard.nnz()),
+               copy.partition.mode, factors, out, BlockOrder::kOutputSorted);
+  const index_t* out_idx = view.data->indices(copy.partition.mode).data();
   std::vector<double> block_seconds;
   for (auto [lo, hi] : split_isps(shard, isp_size)) {
-    auto stats = run_ec_block(*view.data, shard_base + lo, shard_base + hi,
-                              copy.partition.mode, factors, out,
-                              BlockOrder::kOutputSorted);
-    stats.block_width = static_cast<std::size_t>(options.block_width);
+    RunStatsAccumulator acc(BlockOrder::kOutputSorted);
+    for (nnz_t n = shard_base + lo; n < shard_base + hi; ++n) {
+      acc.feed(out_idx[n]);
+    }
+    const auto stats =
+        acc.finish(view.data->num_modes(), factors.rank(),
+                   static_cast<std::size_t>(options.block_width));
     block_seconds.push_back(
         platform.cost_model(gpu).ec_block_seconds(stats, profile));
   }

@@ -34,6 +34,7 @@ KernelFn make_shard_kernel(const ModeLowerInput& in, const Shard* shard) {
   const FactorSet* factors = &in.factors;
   DenseMatrix* out = &in.out;
   const sim::KernelProfile profile = in.profile;
+  const std::size_t num_modes = in.tensor.num_modes();
   return [=](const ExecContext& ctx) -> double {
     const auto& device = ctx.platform.gpu(ctx.gpu);
     const int sm_count = device.spec().sm_count;
@@ -42,13 +43,29 @@ KernelFn make_shard_kernel(const ModeLowerInput& in, const Shard* shard) {
     // the view is the resident copy itself or a stream buffer, so both
     // sources run the same arithmetic in the same order (bit-identical).
     const nnz_t shard_base = shard->nnz_begin - ctx.view->base;
+    // Arithmetic once over the whole shard: the accumulation grouping is
+    // then independent of which device the grid lands on, so a dynamic
+    // assignment that diverges between backends (real wall clock vs
+    // simulated clock picking different GPUs) still produces
+    // memcmp-identical output. The executing device only *prices* the
+    // grid — its sm_count shapes the ISP split below, whose stats come
+    // from an index-only rescan rather than the arithmetic pass.
+    run_ec_block(*ctx.view->data, shard_base,
+                 shard_base + static_cast<nnz_t>(shard->nnz()),
+                 copy->partition.mode, *factors, *out,
+                 BlockOrder::kOutputSorted);
+    const index_t* out_idx =
+        ctx.view->data->indices(copy->partition.mode).data();
     std::vector<double> block_seconds;
     for (auto [lo, hi] : split_isps(*shard, isp_size)) {
       // Mode copies are output-sorted, so the sorted stats fast path holds.
-      auto stats = run_ec_block(*ctx.view->data, shard_base + lo,
-                                shard_base + hi, copy->partition.mode,
-                                *factors, *out, BlockOrder::kOutputSorted);
-      stats.block_width = static_cast<std::size_t>(options->block_width);
+      RunStatsAccumulator acc(BlockOrder::kOutputSorted);
+      for (nnz_t n = shard_base + lo; n < shard_base + hi; ++n) {
+        acc.feed(out_idx[n]);
+      }
+      const auto stats =
+          acc.finish(num_modes, factors->rank(),
+                     static_cast<std::size_t>(options->block_width));
       block_seconds.push_back(
           ctx.platform.cost_model(ctx.gpu).ec_block_seconds(stats, profile));
     }
@@ -94,6 +111,10 @@ void append_shard_tasks(Plan& plan, const ModeLowerInput& in, int gpu,
   h2d.kind = TaskKind::kH2D;
   h2d.gpu = gpu;
   h2d.transfer_bytes = payload;
+  // The host backend stages exactly these elements out of the stream
+  // view (a real copy); the simulator only prices transfer_bytes.
+  h2d.payload_begin = shard->nnz_begin;
+  h2d.payload_end = shard->nnz_end;
   // The sequential engine tracks the staging buffer on the device memory
   // meter; the pipelined engine (like the pre-engine loop) charges only
   // time, its two staging buffers being a constant.

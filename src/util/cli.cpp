@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/mttkrp.hpp"
+#include "exec/backend.hpp"
 #include "io/memory_budget.hpp"
 #include "util/thread_pool.hpp"
 
@@ -93,6 +94,9 @@ void apply_common_flags(const CliArgs& args, MttkrpOptions* mttkrp) {
     }
     if (args.has("allgather")) {
       mttkrp->allgather = parse_allgather(args.get("allgather", ""));
+    }
+    if (args.has("backend")) {
+      mttkrp->backend = exec::parse_backend(args.get("backend", ""));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

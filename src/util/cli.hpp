@@ -45,7 +45,9 @@ void apply_common_flags(const CliArgs& args);
 // Same, plus the execution-engine knobs written into `*mttkrp`:
 // `--policy NAME` (static-greedy, dynamic-queue, contiguous,
 // weighted-static, cost-model, dynamic-lookahead — see parse_policy),
-// `--allgather NAME` (ring, direct, host-staged) and `--pipelined`
+// `--allgather NAME` (ring, direct, host-staged), `--backend NAME`
+// (sim = the clock-charging simulator, host = real host-parallel
+// execution with measured wall times) and `--pipelined`
 // (double-buffered shard streaming). A typo exits with a usage error
 // listing the valid names.
 void apply_common_flags(const CliArgs& args, MttkrpOptions* mttkrp);
