@@ -22,6 +22,21 @@
 //   --memory-budget 512M          cap tracked host memory; AMPED copies
 //                                 spill to disk and stream back
 //
+// Fault-tolerance flags (core/checkpoint.hpp, util/fault.hpp):
+//   --checkpoint run.ampckp       write an atomic ALS checkpoint every
+//                                 --checkpoint-every N iterations (def. 1)
+//   --resume                      continue from the checkpoint if present;
+//                                 the resumed run is bit-identical to an
+//                                 uninterrupted one
+//   --verify-resume               after the run, redo it uninterrupted
+//                                 (no checkpointing) and memcmp the
+//                                 factors — prints the bit-identity verdict
+//   --tol X                       convergence tolerance (0 = fixed
+//                                 iteration count, what --verify-resume
+//                                 and the CI kill/resume drill use)
+//   --faults SPEC                 arm fault-injection sites (AMPED_FAULTS
+//                                 grammar), e.g. cpd.iteration:nth=5
+//
 // Batched mode (plan composition, exec/compose.hpp):
 //   ./decompose_file --batch a.tns b.tns ...
 // decomposes every listed tensor in one batched run: each ALS mode update
@@ -261,6 +276,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Checkpoint/restart knobs apply to both the solo and the batch path
+  // (cpd_batch appends ".<index>" per tensor).
+  opt.tolerance = args.get_double("tol", opt.tolerance);
+  opt.checkpoint_path = args.get("checkpoint", "");
+  opt.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
+  opt.resume = args.get_bool("resume", false);
+
   if (args.has("batch")) {
     opt.rank = rank;
     opt.max_iterations = iters;
@@ -342,7 +365,27 @@ int main(int argc, char** argv) {
               exec::make_scheduler(opt.mttkrp)->name().c_str(),
               to_string(opt.mttkrp.allgather).c_str(),
               to_string(opt.mttkrp.backend).c_str());
-  const CpdResult result = cp_als(platform, tensor, opt);
+  CpdResult result;
+  try {
+    result = cp_als(platform, tensor, opt);
+  } catch (const std::exception& e) {
+    // A mid-run failure (injected fault, I/O error, numeric blow-up) is a
+    // clean exit: with --checkpoint the newest checkpoint survives and a
+    // --resume rerun continues from it.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (!opt.checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "rerun with --resume to continue from the last "
+                   "checkpoint at %s\n", opt.checkpoint_path.c_str());
+    }
+    return 1;
+  }
+  if (!opt.checkpoint_path.empty()) {
+    std::printf("checkpointing every %zu iteration%s to %s%s\n",
+                opt.checkpoint_every, opt.checkpoint_every == 1 ? "" : "s",
+                opt.checkpoint_path.c_str(),
+                opt.resume ? " (resumed if present)" : "");
+  }
   if (host_backend) {
     std::printf("CPD rank-%zu: fit %.4f in %zu iterations (measured MTTKRP "
                 "wall %.4f s on %d host lane%s)\n",
@@ -353,6 +396,34 @@ int main(int argc, char** argv) {
                 "%.4f s on %d GPU%s)\n",
                 rank, result.fit, result.iterations,
                 result.mttkrp_sim_seconds, gpus, gpus == 1 ? "" : "s");
+  }
+  if (args.get_bool("verify-resume", false)) {
+    // Redo the whole decomposition uninterrupted (fresh platform, no
+    // checkpointing) and compare bitwise — the proof that a killed and
+    // resumed run converged to the exact same model.
+    CpdOptions verify = opt;
+    verify.checkpoint_path.clear();
+    verify.resume = false;
+    auto verify_platform = sim::make_default_platform(gpus);
+    const CpdResult redo = cp_als(verify_platform, tensor, verify);
+    bool identical = redo.fit == result.fit &&
+                     redo.iterations == result.iterations &&
+                     redo.lambda == result.lambda;
+    for (std::size_t d = 0; identical && d < tensor.num_modes(); ++d) {
+      const auto& a = redo.factors.factor(d);
+      const auto& b = result.factors.factor(d);
+      identical = a.rows() == b.rows() && a.cols() == b.cols() &&
+                  std::memcmp(a.data().data(), b.data().data(),
+                              a.bytes()) == 0;
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "error: resumed run diverges from an uninterrupted "
+                   "run\n");
+      return 1;
+    }
+    std::printf("resume verified: factors bit-identical to an "
+                "uninterrupted run\n");
   }
   if (args.has("trace")) {
     const std::string trace_path = args.get("trace", "trace.json");

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <exception>
+#include <stdexcept>
 
 #include "core/cpd.hpp"  // tensor_norm_sq
 #include "io/mapped_tensor.hpp"
@@ -105,9 +106,11 @@ AmpedTensor AmpedTensor::build_impl(const Input& input,
     // file and freed before the next mode starts. (Serial by design —
     // parallel mode builds would multiply the transient footprint.)
     const std::string dir = io::resolve_spill_dir(options.spill_dir);
+    io::SpillStats spill_stats;
+    std::size_t degraded = 0;
     for (std::size_t d = 0; d < input.num_modes(); ++d) {
-      io::BudgetReservation charge(budget, copy_bytes,
-                                   "AmpedTensor mode copy under build");
+      auto charge = std::make_shared<io::BudgetReservation>(
+          budget, copy_bytes, "AmpedTensor mode copy under build");
       ModeCopy copy;
       CooTensor sorted = materialize_input(input);
       sorted.sort_by_mode(d);
@@ -127,9 +130,41 @@ AmpedTensor AmpedTensor::build_impl(const Input& input,
         stat_records.push_back({shard.nnz_begin, shard.nnz_end, rs.runs,
                                 rs.max_run});
       }
-      copy.spill = std::make_shared<io::SpilledModeCopy>(sorted, d, dir,
-                                                         stat_records);
+      try {
+        copy.spill = std::make_shared<io::SpilledModeCopy>(
+            sorted, d, dir, stat_records, &spill_stats);
+      } catch (const std::exception& spill_error) {
+        // Graceful degradation: the spill failed permanently (retries and
+        // rebuilds exhausted inside SpilledModeCopy), but the sorted copy
+        // is still in memory. Keep it resident if the budget allows both
+        // this copy and the transient copy the next mode's build needs;
+        // otherwise the spill error propagates.
+        const bool more_modes = d + 1 < input.num_modes();
+        if (more_modes && budget.limit() != 0 &&
+            budget.remaining() < copy_bytes) {
+          throw std::runtime_error(
+              "amped build: spilling mode " + std::to_string(d) +
+              " failed (" + spill_error.what() +
+              ") and the host memory budget has no headroom to keep the "
+              "copy resident (" +
+              io::format_bytes(budget.remaining()) + " free, " +
+              io::format_bytes(copy_bytes) + " needed for the next mode)");
+        }
+        AMPED_LOG_WARN << "amped build: spilling mode " << d << " failed ("
+                       << spill_error.what() << "); keeping the copy "
+                       << "resident (" << io::format_bytes(copy_bytes)
+                       << " charged against the budget)";
+        // The build-transient charge becomes the copy's permanent one.
+        copy.tensor = std::move(sorted);
+        copy.reservation = std::move(charge);
+        ++degraded;
+      }
       out.copies_[d] = std::move(copy);
+    }
+    if (stats) {
+      stats->spill_retries = spill_stats.retries;
+      stats->spill_rebuilds = spill_stats.rebuilds;
+      stats->degraded_to_resident = degraded;
     }
   }
 

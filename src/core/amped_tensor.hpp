@@ -55,6 +55,13 @@ struct PreprocessStats {
   double wall_seconds = 0.0;  // actual time this process spent building
   std::size_t bytes_built = 0;
   bool spilled = false;       // copies went to disk instead of host memory
+  // Fault-recovery accounting of the out-of-core path: transient spill
+  // writes retried, corrupt spill files rebuilt from the source tensor,
+  // and mode copies kept resident because their spill failed permanently
+  // but the memory budget had headroom (graceful degradation).
+  std::size_t spill_retries = 0;
+  std::size_t spill_rebuilds = 0;
+  std::size_t degraded_to_resident = 0;
 };
 
 class AmpedTensor {
@@ -65,6 +72,10 @@ class AmpedTensor {
     CooTensor tensor;        // sorted by `partition.mode`; empty if spilled
     ModePartition partition;
     std::shared_ptr<io::SpilledModeCopy> spill;  // null when resident
+    // Budget charge for a copy kept resident as the degradation fallback
+    // of a failed spill (null otherwise; fully-resident builds charge one
+    // shared footprint reservation on the tensor instead).
+    std::shared_ptr<io::BudgetReservation> reservation;
 
     bool spilled() const { return spill != nullptr; }
   };

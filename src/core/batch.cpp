@@ -148,11 +148,27 @@ std::vector<CpdResult> cpd_batch(sim::Platform& platform,
     max_modes = std::max(max_modes, t->num_modes());
   }
 
+  // Per-tensor checkpoint paths: the batch shares one CpdOptions, so each
+  // workload checkpoints (and resumes) under path + ".<index>".
+  const bool checkpointing = !options.checkpoint_path.empty();
+  auto checkpoint_path = [&](std::size_t i) {
+    return options.checkpoint_path + "." + std::to_string(i);
+  };
+  if (checkpointing && options.resume) {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      states[i].load_checkpoint(checkpoint_path(i));
+    }
+  }
+
   platform.barrier();
   const double t0 = platform.makespan();
+  std::vector<bool> active(states.size(), false);
   for (;;) {
     bool any_active = false;
-    for (const auto& s : states) any_active = any_active || !s.done();
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      active[i] = !states[i].done();
+      any_active = any_active || active[i];
+    }
     if (!any_active) break;
 
     for (std::size_t d = 0; d < max_modes; ++d) {
@@ -173,6 +189,16 @@ std::vector<CpdResult> cpd_batch(sim::Platform& platform,
     }
     for (auto& s : states) {
       if (!s.done()) s.finish_iteration();
+    }
+    if (checkpointing && options.checkpoint_every != 0) {
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        // Only workloads that iterated this round have new state; the
+        // modulus matches the solo cp_als cadence per tensor.
+        if (active[i] &&
+            states[i].iterations() % options.checkpoint_every == 0) {
+          states[i].save_checkpoint(checkpoint_path(i));
+        }
+      }
     }
   }
   if (options.mttkrp.backend == exec::ExecBackend::kHostParallel) {

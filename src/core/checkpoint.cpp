@@ -1,0 +1,170 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "io/mapped_file.hpp"
+#include "io/snapshot.hpp"
+#include "util/fault.hpp"
+
+namespace amped {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'A', 'M', 'P', 'C', 'K', 'P', '0', '1'};
+
+template <typename T>
+void append(std::vector<std::byte>& out, T v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+// Sequential little-endian reader with hard bounds checks: a truncated or
+// tampered checkpoint must fail cleanly, never read out of bounds.
+struct Cursor {
+  const std::byte* p;
+  std::size_t remaining;
+  const std::string& path;
+
+  template <typename T>
+  T take() {
+    if (remaining < sizeof(T)) {
+      throw std::runtime_error("checkpoint: " + path +
+                               " is truncated mid-field");
+    }
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    remaining -= sizeof(T);
+    return v;
+  }
+
+  void take_into(void* dst, std::size_t bytes) {
+    if (remaining < bytes) {
+      throw std::runtime_error("checkpoint: " + path +
+                               " is truncated mid-array");
+    }
+    std::memcpy(dst, p, bytes);
+    p += bytes;
+    remaining -= bytes;
+  }
+};
+
+}  // namespace
+
+void write_als_checkpoint(const AlsCheckpoint& ckpt, const std::string& path) {
+  std::vector<std::byte> payload;
+  append(payload, static_cast<std::uint64_t>(ckpt.factors.size()));
+  const std::uint64_t rank =
+      ckpt.factors.empty() ? ckpt.lambda.size() : ckpt.factors[0].cols();
+  append(payload, rank);
+  append(payload, ckpt.iterations);
+  const std::uint64_t flags = (ckpt.converged ? 1u : 0u) |
+                              (ckpt.done ? 2u : 0u);
+  append(payload, flags);
+  append(payload, ckpt.fit);
+  append(payload, ckpt.prev_fit);
+  append(payload, ckpt.mttkrp_seconds);
+  append(payload, static_cast<std::uint64_t>(ckpt.lambda.size()));
+  for (double v : ckpt.lambda) append(payload, v);
+  append(payload, static_cast<std::uint64_t>(ckpt.fit_history.size()));
+  for (double v : ckpt.fit_history) append(payload, v);
+  for (const auto& f : ckpt.factors) {
+    append(payload, static_cast<std::uint64_t>(f.rows()));
+    append(payload, static_cast<std::uint64_t>(f.cols()));
+    const auto data = f.data();
+    const auto* bytes = reinterpret_cast<const std::byte*>(data.data());
+    payload.insert(payload.end(), bytes,
+                   bytes + data.size() * sizeof(value_t));
+  }
+  const std::uint64_t checksum =
+      io::checksum64(payload.data(), payload.size());
+
+  // Injected transient snapshot faults (and EINTR-class conditions
+  // surfaced as TransientError) are retried; each attempt starts a fresh
+  // temp file, so a failed attempt leaves nothing behind.
+  fault::retry_transient("checkpoint write", [&] {
+    io::AtomicFileWriter out(path);
+    out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    out.write(&checksum, sizeof(checksum));
+    out.write(payload.data(), payload.size());
+    out.commit();
+  });
+}
+
+AlsCheckpoint read_als_checkpoint(const std::string& path) {
+  io::MappedFile file(path);
+  if (file.size() < sizeof(kCheckpointMagic) + sizeof(std::uint64_t)) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " is shorter than the header");
+  }
+  if (std::memcmp(file.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " has bad magic (not an AMPCKP01 checkpoint)");
+  }
+  std::uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, file.data() + sizeof(kCheckpointMagic),
+              sizeof(stored_checksum));
+  const std::byte* payload =
+      file.data() + sizeof(kCheckpointMagic) + sizeof(std::uint64_t);
+  const std::size_t payload_bytes =
+      file.size() - sizeof(kCheckpointMagic) - sizeof(std::uint64_t);
+  if (io::checksum64(payload, payload_bytes) != stored_checksum) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " failed its checksum (corrupt or truncated)");
+  }
+
+  Cursor in{payload, payload_bytes, path};
+  AlsCheckpoint ckpt;
+  const auto num_modes = in.take<std::uint64_t>();
+  const auto rank = in.take<std::uint64_t>();
+  // An on-disk mode/rank count the file cannot possibly hold is corrupt
+  // structure even with a matching checksum.
+  if (num_modes > payload_bytes || rank > payload_bytes) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " has an implausible mode/rank count");
+  }
+  ckpt.iterations = in.take<std::uint64_t>();
+  const auto flags = in.take<std::uint64_t>();
+  ckpt.converged = (flags & 1u) != 0;
+  ckpt.done = (flags & 2u) != 0;
+  ckpt.fit = in.take<double>();
+  ckpt.prev_fit = in.take<double>();
+  ckpt.mttkrp_seconds = in.take<double>();
+  const auto lambda_count = in.take<std::uint64_t>();
+  if (lambda_count != rank) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " lambda count does not match the rank");
+  }
+  ckpt.lambda.resize(static_cast<std::size_t>(lambda_count));
+  in.take_into(ckpt.lambda.data(), ckpt.lambda.size() * sizeof(double));
+  const auto history_count = in.take<std::uint64_t>();
+  if (history_count > payload_bytes / sizeof(double)) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " has an implausible fit-history count");
+  }
+  ckpt.fit_history.resize(static_cast<std::size_t>(history_count));
+  in.take_into(ckpt.fit_history.data(),
+               ckpt.fit_history.size() * sizeof(double));
+  ckpt.factors.reserve(static_cast<std::size_t>(num_modes));
+  for (std::uint64_t m = 0; m < num_modes; ++m) {
+    const auto rows = in.take<std::uint64_t>();
+    const auto cols = in.take<std::uint64_t>();
+    if (cols != rank || rows > in.remaining / sizeof(value_t) / (cols ? cols : 1)) {
+      throw std::runtime_error("checkpoint: " + path + " factor " +
+                               std::to_string(m) + " has a bad shape");
+    }
+    DenseMatrix f(static_cast<std::size_t>(rows),
+                  static_cast<std::size_t>(cols));
+    in.take_into(f.data().data(), f.bytes());
+    ckpt.factors.push_back(std::move(f));
+  }
+  if (in.remaining != 0) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " has trailing bytes after the last factor");
+  }
+  return ckpt;
+}
+
+}  // namespace amped

@@ -1,0 +1,58 @@
+// ALS checkpoint/restart: atomic on-disk snapshots of a CP-ALS run.
+//
+// A checkpoint captures everything `detail::AlsState` needs to continue
+// bit-identically: the factor matrices, lambda, the fit trajectory, the
+// iteration count, and the convergence bookkeeping (prev-fit, flags).
+// Gram matrices are deliberately NOT persisted — they are recomputed from
+// the factor bits on load and the recomputation is deterministic, so the
+// resumed state is byte-equal to the uninterrupted one. Likewise the
+// last-mode inner product is transient (written before it is read in
+// every iteration).
+//
+// On-disk layout ("AMPCKP01", little-endian):
+//   [ 0.. 8)  magic
+//   [ 8..16)  u64 payload checksum (checksum64 over everything after it)
+//   [16..  )  payload:
+//     u64 num_modes | u64 rank | u64 iterations | u64 flags
+//     (bit 0 converged, bit 1 done)
+//     f64 fit | f64 prev_fit | f64 mttkrp_seconds
+//     u64 lambda_count | lambda_count x f64
+//     u64 history_count | history_count x f64
+//     per mode: u64 rows | u64 cols | rows*cols x value_t
+//
+// Writes go through AtomicFileWriter (temp file + fsync + rename) wrapped
+// in a transient-retry loop, so a crash mid-write never truncates the
+// previous checkpoint and an interrupted fsync is retried. Reads verify
+// the checksum and every structural invariant before any field is used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/dense_matrix.hpp"
+
+namespace amped {
+
+struct AlsCheckpoint {
+  std::uint64_t iterations = 0;
+  double fit = 0.0;
+  double prev_fit = 0.0;
+  double mttkrp_seconds = 0.0;
+  bool converged = false;
+  bool done = false;
+  std::vector<double> lambda;
+  std::vector<double> fit_history;
+  std::vector<DenseMatrix> factors;  // one per mode, rows x rank
+};
+
+// Writes `ckpt` to `path` atomically; retries transient I/O faults with
+// bounded backoff. Throws std::runtime_error on permanent failure (the
+// previous file at `path`, if any, is left intact).
+void write_als_checkpoint(const AlsCheckpoint& ckpt, const std::string& path);
+
+// Reads and validates a checkpoint. Throws std::runtime_error naming
+// `path` on a missing, truncated, corrupt, or structurally invalid file.
+AlsCheckpoint read_als_checkpoint(const std::string& path);
+
+}  // namespace amped

@@ -2,9 +2,13 @@
 
 #include <cassert>
 #include <cmath>
+#include <filesystem>
+#include <stdexcept>
 
+#include "core/checkpoint.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace amped {
@@ -100,6 +104,28 @@ void AlsState::update_mode(std::size_t d, double sim_seconds) {
     result_.lambda[c] = norm;
     linalg::scale_column(updated, c, static_cast<value_t>(1.0 / norm));
   }
+  // Numeric guard: a NaN/Inf here (degenerate input data, catastrophic
+  // gram conditioning) would otherwise propagate silently through every
+  // later mode and iteration. Fail at the first poisoned update, naming
+  // where the run went bad. The scans are O(I_d * R), the same order as
+  // the normalisation pass above.
+  for (std::size_t c = 0; c < rank; ++c) {
+    if (!std::isfinite(result_.lambda[c])) {
+      throw std::runtime_error(
+          "cp_als: non-finite lambda[" + std::to_string(c) +
+          "] after the mode-" + std::to_string(d) + " update at iteration " +
+          std::to_string(result_.iterations) +
+          " (input data or gram conditioning produced NaN/Inf)");
+    }
+  }
+  for (value_t entry : updated.data()) {
+    if (!std::isfinite(entry)) {
+      throw std::runtime_error(
+          "cp_als: non-finite factor entry in mode " + std::to_string(d) +
+          " at iteration " + std::to_string(result_.iterations) +
+          " (input data or gram conditioning produced NaN/Inf)");
+    }
+  }
   result_.factors.factor(d) = std::move(updated);
   grams_[d] = linalg::gram(result_.factors.factor(d));
 
@@ -116,7 +142,15 @@ void AlsState::finish_iteration() {
   const double model_sq = model_norm_sq(grams_, result_.lambda);
   const double residual_sq =
       std::max(0.0, norm_x_sq + model_sq - 2.0 * iprod_);
-  const double fit = 1.0 - std::sqrt(residual_sq / norm_x_sq);
+  const double fit =
+      norm_x_sq > 0.0 ? 1.0 - std::sqrt(residual_sq / norm_x_sq) : 1.0;
+  if (!std::isfinite(fit)) {
+    throw std::runtime_error(
+        "cp_als: non-finite fit at iteration " +
+        std::to_string(result_.iterations) + " (|X|^2=" +
+        std::to_string(norm_x_sq) + ", |model|^2=" +
+        std::to_string(model_sq) + ")");
+  }
   result_.fit = fit;
   result_.fit_history.push_back(fit);
   result_.iterations += 1;
@@ -130,6 +164,74 @@ void AlsState::finish_iteration() {
   }
   prev_fit_ = fit;
   if (result_.iterations >= options_->max_iterations) done_ = true;
+  // Deterministic mid-ALS abort for recovery drills: fires after the
+  // iteration's state is complete but (in checkpointed runs) before the
+  // driver persists it, like a crash between iterations.
+  AMPED_FAULT_POINT("cpd.iteration");
+}
+
+void AlsState::save_checkpoint(const std::string& path) const {
+  AlsCheckpoint ckpt;
+  ckpt.iterations = result_.iterations;
+  ckpt.fit = result_.fit;
+  ckpt.prev_fit = prev_fit_;
+  ckpt.mttkrp_seconds = result_.mttkrp_sim_seconds;
+  ckpt.converged = result_.converged;
+  ckpt.done = done_;
+  ckpt.lambda = result_.lambda;
+  ckpt.fit_history = result_.fit_history;
+  ckpt.factors.reserve(tensor_->num_modes());
+  for (std::size_t d = 0; d < tensor_->num_modes(); ++d) {
+    ckpt.factors.push_back(result_.factors.factor(d));
+  }
+  write_als_checkpoint(ckpt, path);
+  AMPED_LOG_DEBUG << "cp_als: checkpoint written to " << path
+                  << " at iteration " << result_.iterations;
+}
+
+bool AlsState::load_checkpoint(const std::string& path) {
+  if (!std::filesystem::exists(path)) return false;
+  AlsCheckpoint ckpt = read_als_checkpoint(path);
+  if (ckpt.factors.size() != tensor_->num_modes()) {
+    throw std::runtime_error(
+        "checkpoint: " + path + " has " +
+        std::to_string(ckpt.factors.size()) + " modes, this tensor has " +
+        std::to_string(tensor_->num_modes()));
+  }
+  if (ckpt.lambda.size() != options_->rank) {
+    throw std::runtime_error(
+        "checkpoint: " + path + " is a rank-" +
+        std::to_string(ckpt.lambda.size()) + " run, this run is rank-" +
+        std::to_string(options_->rank));
+  }
+  for (std::size_t d = 0; d < ckpt.factors.size(); ++d) {
+    if (ckpt.factors[d].rows() != tensor_->dims()[d]) {
+      throw std::runtime_error(
+          "checkpoint: " + path + " factor " + std::to_string(d) + " has " +
+          std::to_string(ckpt.factors[d].rows()) + " rows, mode " +
+          std::to_string(d) + " of this tensor has " +
+          std::to_string(tensor_->dims()[d]));
+    }
+  }
+  for (std::size_t d = 0; d < ckpt.factors.size(); ++d) {
+    result_.factors.factor(d) = std::move(ckpt.factors[d]);
+    grams_[d] = linalg::gram(result_.factors.factor(d));
+  }
+  result_.lambda = std::move(ckpt.lambda);
+  result_.fit = ckpt.fit;
+  result_.fit_history = std::move(ckpt.fit_history);
+  result_.iterations = static_cast<std::size_t>(ckpt.iterations);
+  result_.converged = ckpt.converged;
+  result_.mttkrp_sim_seconds = ckpt.mttkrp_seconds;
+  prev_fit_ = ckpt.prev_fit;
+  // Recompute the stopping decision under *this* run's options rather
+  // than trusting the stored flag, so resuming with a larger iteration
+  // budget continues the run.
+  done_ = result_.converged ||
+          result_.iterations >= options_->max_iterations;
+  // iprod_ is intentionally not restored: every iteration writes it
+  // (last-mode update) before finish_iteration reads it.
+  return true;
 }
 
 }  // namespace detail
@@ -137,6 +239,16 @@ void AlsState::finish_iteration() {
 CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
                  const CpdOptions& options) {
   detail::AlsState state(tensor, options);
+  const bool checkpointing = !options.checkpoint_path.empty();
+  if (checkpointing && options.resume) {
+    if (state.load_checkpoint(options.checkpoint_path)) {
+      AMPED_LOG_INFO << "cp_als: resumed from " << options.checkpoint_path
+                     << " at iteration " << state.iterations();
+    } else {
+      AMPED_LOG_INFO << "cp_als: no checkpoint at "
+                     << options.checkpoint_path << "; starting fresh";
+    }
+  }
   while (!state.done()) {
     for (std::size_t d = 0; d < tensor.num_modes(); ++d) {
       DenseMatrix& out = state.prepare_mode(d);
@@ -145,6 +257,10 @@ CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
       state.update_mode(d, bd.seconds);
     }
     state.finish_iteration();
+    if (checkpointing && options.checkpoint_every != 0 &&
+        state.iterations() % options.checkpoint_every == 0) {
+      state.save_checkpoint(options.checkpoint_path);
+    }
   }
   return state.take_result();
 }

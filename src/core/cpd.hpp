@@ -25,6 +25,18 @@ struct CpdOptions {
   double tolerance = 1e-5;
   std::uint64_t seed = 7;
   MttkrpOptions mttkrp;
+  // Checkpoint/restart: when nonempty, an atomic "AMPCKP01" checkpoint
+  // (factors + lambda + iteration + convergence state) is written to this
+  // path every `checkpoint_every` iterations. With `resume`, an existing
+  // checkpoint is loaded first and the run continues from it — the
+  // resumed run is bit-identical to one that was never interrupted
+  // (grams are recomputed deterministically from the factor bits).
+  // A missing checkpoint under `resume` is a fresh start, not an error;
+  // a corrupt or mismatched one throws. cpd_batch appends ".<index>" to
+  // the path for each tensor in the batch.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
 };
 
 struct CpdResult {
@@ -61,6 +73,7 @@ class AlsState {
   const FactorSet& factors() const { return result_.factors; }
   std::size_t num_modes() const { return tensor_->num_modes(); }
   bool done() const { return done_; }
+  std::size_t iterations() const { return result_.iterations; }
 
   // Returns the zero-free output buffer the mode-`d` MTTKRP writes into
   // (sized dims[d] x rank; the MTTKRP zeroes it).
@@ -71,6 +84,15 @@ class AlsState {
   void update_mode(std::size_t d, double sim_seconds);
   // Computes the fit, records the iteration, and decides convergence.
   void finish_iteration();
+
+  // Writes the run's state to `path` atomically (core/checkpoint.hpp).
+  void save_checkpoint(const std::string& path) const;
+  // Restores from `path` if it exists: factors, lambda, fit trajectory,
+  // iteration count, convergence flags; grams are recomputed from the
+  // restored factor bits (deterministic, so the resumed run stays
+  // bit-identical). Returns false when no file exists (fresh start);
+  // throws on a corrupt file or a shape/rank mismatch with this run.
+  bool load_checkpoint(const std::string& path);
 
   CpdResult take_result() { return std::move(result_); }
 

@@ -1,6 +1,7 @@
 #include "exec/host_backend.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <condition_variable>
 #include <cstring>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -85,10 +87,43 @@ struct LaneStats {
   std::vector<std::uint64_t> scope_rows;
 };
 
+// Structured cancellation for one plan run: the first failure anywhere
+// (lane thread, copy engine, dynamic worker, serial segment) records its
+// exception and flips the cancel flag; every sibling polls the flag at
+// its next task/unit boundary and unwinds cleanly. After all threads are
+// joined, the earliest-recorded error is rethrown — one exception out,
+// no hung condition waits, no leaked threads or staging buffers.
+struct CancelGroup {
+  std::atomic<bool> cancel{false};
+  std::mutex mutex;
+  std::exception_ptr first_error;
+
+  bool cancelled() const { return cancel.load(std::memory_order_relaxed); }
+
+  // Call from a catch block: records the in-flight exception (first
+  // writer wins — errors are recorded in real-time order, so this is the
+  // earliest) and cancels the run.
+  void capture() noexcept {
+    cancel.store(true, std::memory_order_relaxed);
+    std::lock_guard lock(mutex);
+    if (!first_error) first_error = std::current_exception();
+  }
+
+  void rethrow_if_any() {
+    std::exception_ptr e;
+    {
+      std::lock_guard lock(mutex);
+      e = first_error;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+};
+
 struct RunContext {
   sim::Platform& platform;
   Plan& plan;
   const WallTimer& clock;  // whole-run timer; lane-end offsets read it
+  CancelGroup& cg;         // one per run_plan_host_parallel call
 };
 
 // Groups `ids` into dispatch units: consecutive tasks through their
@@ -124,6 +159,10 @@ void run_lane_sequential(RunContext& rc, int gpu,
   DeviceBuffer staged;
   std::vector<unsigned char> bounce_src, bounce_dst;
   for (std::size_t id : ids) {
+    // A sibling lane failed: stop at the next task boundary so the whole
+    // segment unwinds promptly instead of finishing a doomed mode.
+    if (rc.cg.cancelled()) return;
+    AMPED_FAULT_POINT("host.lane");
     Task& t = plan.tasks[id];
     switch (t.kind) {
       case TaskKind::kSpillFetch: {
@@ -209,11 +248,22 @@ void run_lane_pipelined(RunContext& rc, int gpu,
   std::condition_variable cv;
   std::size_t staged_count = 0;
   std::size_t consumed = 0;
-  std::exception_ptr copy_error;
+  CancelGroup& cg = rc.cg;
+
+  // Wakes anyone blocked on the ring after cg.cancel flipped. The empty
+  // lock section orders the flag write before the notify for waiters
+  // that were between their predicate check and the sleep.
+  auto wake_all = [&] {
+    { std::lock_guard lock(mu); }
+    cv.notify_all();
+  };
 
   // Copy engine. Writes only the fetch/h2d stats fields; the compute
   // thread writes only the compute fields — disjoint members, and the
-  // join below orders everything before the caller reads them.
+  // join below orders everything before the caller reads them. Any
+  // failure (its own or the consumer's) drains through the cancel group:
+  // both loops re-check cg at every ring-wait wakeup and unit boundary,
+  // so neither side can strand the other on the condition variable.
   std::thread copy([&] {
     try {
       io::ShardStreamer::View view;
@@ -221,8 +271,19 @@ void run_lane_pipelined(RunContext& rc, int gpu,
       for (std::size_t u = 0; u < units.size(); ++u) {
         {
           std::unique_lock lock(mu);
-          cv.wait(lock, [&] { return staged_count - consumed < 2; });
+          cv.wait(lock, [&] {
+            return staged_count - consumed < 2 || cg.cancelled();
+          });
         }
+        if (cg.cancelled()) {
+          // The cancel may have been raised by *another* lane, whose
+          // capture() never notifies this lane's cv: wake the consumer
+          // (its predicate re-checks the flag) before bailing, or it
+          // sleeps forever waiting for a unit that will never stage.
+          wake_all();
+          return;
+        }
+        AMPED_FAULT_POINT("host.copy");
         for (std::size_t id : units[u]) {
           Task& t = rc.plan.tasks[id];
           if (t.kind == TaskKind::kSpillFetch) {
@@ -246,40 +307,56 @@ void run_lane_pipelined(RunContext& rc, int gpu,
         cv.notify_all();
       }
     } catch (...) {
-      std::lock_guard lock(mu);
-      copy_error = std::current_exception();
-      cv.notify_all();
+      cg.capture();
+      wake_all();
     }
   });
 
-  for (std::size_t u = 0; u < units.size(); ++u) {
-    {
-      std::unique_lock lock(mu);
-      cv.wait(lock, [&] { return staged_count > u || copy_error; });
-      if (copy_error) break;
+  try {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return staged_count > u || cg.cancelled(); });
+      }
+      if (cg.cancelled()) {
+        // Same cross-lane wakeup as in the copy engine: the flag may
+        // have flipped without a notify on this lane's cv, and the join
+        // below would otherwise wait on a copy thread that is blocked
+        // waiting for ring space.
+        wake_all();
+        break;
+      }
+      AMPED_FAULT_POINT("host.lane");
+      for (std::size_t id : units[u]) {
+        Task& t = rc.plan.tasks[id];
+        if (t.kind != TaskKind::kKernel) continue;
+        const ExecContext ctx{rc.platform, gpu,
+                              ring[u % 2].valid ? &ring[u % 2].view
+                                                : nullptr};
+        WallTimer w;
+        const double predicted = t.kernel(ctx);
+        const double wall = w.seconds();
+        stats.compute += wall;
+        stats.predicted_compute += predicted;
+        stats.scope_compute[t.scope] += wall;
+        stats.scope_rows[t.scope] += t.owned_rows;
+      }
+      {
+        std::lock_guard lock(mu);
+        ++consumed;
+      }
+      cv.notify_all();
     }
-    for (std::size_t id : units[u]) {
-      Task& t = rc.plan.tasks[id];
-      if (t.kind != TaskKind::kKernel) continue;
-      const ExecContext ctx{rc.platform, gpu,
-                            ring[u % 2].valid ? &ring[u % 2].view : nullptr};
-      WallTimer w;
-      const double predicted = t.kernel(ctx);
-      const double wall = w.seconds();
-      stats.compute += wall;
-      stats.predicted_compute += predicted;
-      stats.scope_compute[t.scope] += wall;
-      stats.scope_rows[t.scope] += t.owned_rows;
-    }
-    {
-      std::lock_guard lock(mu);
-      ++consumed;
-    }
-    cv.notify_all();
+  } catch (...) {
+    // Before the cancel group, a kernel throw here escaped with the copy
+    // thread still joinable — std::terminate. Capture, wake the copy
+    // engine, and fall through to the join; flush rethrows after every
+    // lane is down.
+    cg.capture();
+    wake_all();
   }
   copy.join();
-  if (copy_error) std::rethrow_exception(copy_error);
-  stats.end = rc.clock.seconds();
+  if (!cg.cancelled()) stats.end = rc.clock.seconds();
 }
 
 // Dynamic dispatch (plain and look-ahead): one worker thread per GPU
@@ -316,7 +393,7 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
   std::mutex dispatch;
   std::size_t next = 0;
   io::ShardStreamer::View shared_view;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
+  CancelGroup& cg = rc.cg;
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(m));
   for (int g = 0; g < m; ++g) {
@@ -330,8 +407,11 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
           std::size_t u;
           {
             std::unique_lock lock(dispatch);
-            if (next == units.size()) break;
+            // A failed worker cancels the queue: siblings stop pulling
+            // units, join below, and the earliest error is rethrown.
+            if (next == units.size() || cg.cancelled()) break;
             u = next++;
+            AMPED_FAULT_POINT("host.worker");
             for (std::size_t id : units[u]) {
               Task& t = plan.tasks[id];
               if (t.kind == TaskKind::kSpillFetch) {
@@ -374,16 +454,13 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
             }
           }
         }
-        if (ran) stats.end = rc.clock.seconds();
+        if (ran && !cg.cancelled()) stats.end = rc.clock.seconds();
       } catch (...) {
-        errors[static_cast<std::size_t>(g)] = std::current_exception();
+        cg.capture();
       }
     });
   }
   for (auto& w : workers) w.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
 }
 
 }  // namespace
@@ -400,7 +477,8 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
       scopes, std::vector<std::uint64_t>(static_cast<std::size_t>(m), 0));
 
   const WallTimer run_clock;
-  RunContext rc{platform, plan, run_clock};
+  CancelGroup cg;
+  RunContext rc{platform, plan, run_clock, cg};
 
   auto make_stats = [&] {
     LaneStats s;
@@ -437,7 +515,14 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
       // staging its next unit while worker h computes.
       std::vector<LaneStats> per_gpu(static_cast<std::size_t>(m),
                                      make_stats());
-      run_dynamic(rc, segment, per_gpu);
+      try {
+        run_dynamic(rc, segment, per_gpu);
+      } catch (...) {
+        // Serial-fallback errors arrive synchronously; route them through
+        // the cancel group so every failure exits the same way.
+        cg.capture();
+      }
+      cg.rethrow_if_any();
       const double flush_end = run_clock.seconds();
       for (int g = 0; g < m; ++g) {
         merge(g, per_gpu[static_cast<std::size_t>(g)], flush_end);
@@ -470,7 +555,6 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
       // streamer acquire waits on pool read-ahead tasks) and pipelined
       // lanes spawn their own copy engines; keeping lanes off the pool
       // leaves it free to be the streamers' read-ahead executor.
-      std::vector<std::exception_ptr> errors(active.size());
       std::vector<std::thread> threads;
       threads.reserve(active.size());
       for (std::size_t i = 0; i < active.size(); ++i) {
@@ -478,17 +562,22 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
           try {
             run_lane(i);
           } catch (...) {
-            errors[i] = std::current_exception();
+            rc.cg.capture();
           }
         });
       }
       for (auto& t : threads) t.join();
-      for (auto& e : errors) {
-        if (e) std::rethrow_exception(e);
-      }
     } else {
-      for (std::size_t i = 0; i < active.size(); ++i) run_lane(i);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        try {
+          run_lane(i);
+        } catch (...) {
+          rc.cg.capture();
+          break;
+        }
+      }
     }
+    cg.rethrow_if_any();
     const double flush_end = run_clock.seconds();
     for (std::size_t i = 0; i < active.size(); ++i) {
       merge(active[i], stats[i], flush_end);

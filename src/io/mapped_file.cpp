@@ -10,10 +10,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace amped::io {
 
 MappedFile::MappedFile(const std::string& path) : path_(path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  AMPED_FAULT_POINT("mapped_file.open");
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     throw std::runtime_error("io: cannot open " + path + ": " +
                              std::strerror(errno));
@@ -27,6 +33,12 @@ MappedFile::MappedFile(const std::string& path) : path_(path) {
   }
   size_ = static_cast<std::size_t>(st.st_size);
   if (size_ > 0) {
+    try {
+      AMPED_FAULT_POINT("mapped_file.mmap");
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
     void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (mapped == MAP_FAILED) {
       const int err = errno;

@@ -10,6 +10,8 @@
 #include <filesystem>
 
 #include "io/snapshot.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped::io {
@@ -35,12 +37,53 @@ std::string next_spill_path(const std::string& dir, std::size_t mode) {
 
 SpilledModeCopy::SpilledModeCopy(const CooTensor& sorted, std::size_t mode,
                                  const std::string& dir,
-                                 std::span<const ShardRunStatsRecord> shard_stats)
+                                 std::span<const ShardRunStatsRecord> shard_stats,
+                                 SpillStats* stats)
     : path_(next_spill_path(resolve_spill_dir(dir), mode)) {
-  write_snapshot_file(sorted, path_, shard_stats);
-  // Just written and renamed into place by this process; skip the
-  // checksum sweep so mapping stays O(1) instead of O(file).
-  map_ = MappedCooTensor(path_, {.verify_checksums = false});
+  constexpr int kMaxRebuilds = 3;
+  SpillStats local;
+  try {
+    for (int attempt = 1;; ++attempt) {
+      // Transient write failures (injected faults, interrupted syscalls
+      // surfaced as TransientError) are retried; each failed attempt's
+      // temp file is removed by AtomicFileWriter's destructor.
+      fault::retry_transient(
+          "spill write",
+          [&] { write_snapshot_file(sorted, path_, shard_stats); }, {},
+          &local.retries);
+      try {
+        AMPED_FAULT_POINT("spill.verify");
+        // Just written and renamed into place by this process; skip the
+        // checksum sweep so mapping stays O(1) instead of O(file).
+        map_ = MappedCooTensor(path_, {.verify_checksums = false});
+        break;
+      } catch (const std::exception& e) {
+        // The published file does not map back as a valid snapshot
+        // (bitrot, a lying disk, or an injected corruption): the source
+        // tensor is still resident, so rebuild instead of aborting.
+        std::remove(path_.c_str());
+        if (attempt > kMaxRebuilds) {
+          throw std::runtime_error("spill: " + path_ +
+                                   " failed validation after " +
+                                   std::to_string(kMaxRebuilds) +
+                                   " rebuilds: " + e.what());
+        }
+        ++local.rebuilds;
+        AMPED_LOG_WARN << "spill: " << path_
+                       << " failed validation; rebuilding from the source "
+                          "tensor (" << e.what() << ")";
+      }
+    }
+  } catch (...) {
+    // No orphan spill files on any failure path: the destructor will not
+    // run for a throwing constructor, so unlink here.
+    std::remove(path_.c_str());
+    throw;
+  }
+  if (stats != nullptr) {
+    stats->retries += local.retries;
+    stats->rebuilds += local.rebuilds;
+  }
 }
 
 SpilledModeCopy::~SpilledModeCopy() {
@@ -50,6 +93,7 @@ SpilledModeCopy::~SpilledModeCopy() {
 }
 
 CooTensor SpilledModeCopy::read_range(nnz_t begin, nnz_t end) const {
+  AMPED_FAULT_POINT("spill.read");
   assert(begin <= end && end <= nnz());
   const std::size_t modes = num_modes();
   std::vector<std::vector<index_t>> cols(modes);
@@ -94,11 +138,17 @@ struct ShardStreamer::StreamState {
     BudgetReservation charge;
     std::exception_ptr error;
     try {
-      const auto [begin, end] = ranges[pos];
-      charge = BudgetReservation(
-          HostMemoryBudget::global(),
-          (end - begin) * spill->bytes_per_nnz(), "shard stream buffer");
-      buffer = spill->read_range(begin, end);
+      // Transient read-ahead failures (injected faults, EINTR-class
+      // conditions) retry with bounded backoff before the error is
+      // surfaced to the consumer at acquire().
+      fault::retry_transient("shard stream read-ahead", [&] {
+        AMPED_FAULT_POINT("stream.readahead");
+        const auto [begin, end] = ranges[pos];
+        charge = BudgetReservation(
+            HostMemoryBudget::global(),
+            (end - begin) * spill->bytes_per_nnz(), "shard stream buffer");
+        buffer = spill->read_range(begin, end);
+      });
     } catch (...) {
       error = std::current_exception();
     }

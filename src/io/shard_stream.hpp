@@ -34,6 +34,14 @@
 
 namespace amped::io {
 
+// Recovery accounting of one spill (fault-injection tests and the build
+// report read these): transient write attempts retried, and corrupt
+// files rebuilt from the still-resident source tensor.
+struct SpillStats {
+  std::size_t retries = 0;
+  std::size_t rebuilds = 0;
+};
+
 // A mode copy that lives on disk as a snapshot-v2 file instead of in host
 // memory. The file is written on construction (atomic rename, checksums)
 // and unlinked on destruction; reads go through a persistent mapping, so
@@ -46,9 +54,17 @@ class SpilledModeCopy {
   // run-stats segment: the per-shard run structure of the partition the
   // copy was built under, so schedulers can price spilled shards exactly
   // without re-reading the file.
+  //
+  // Failure handling: transient write errors (injected faults, EINTR
+  // class) are retried with bounded backoff; a written file that fails
+  // validation when mapped back is unlinked and rebuilt from `sorted`
+  // (bounded attempts). On permanent failure the constructor throws and
+  // leaves no file behind. `stats`, when non-null, accumulates the
+  // recovery work performed.
   SpilledModeCopy(const CooTensor& sorted, std::size_t mode,
                   const std::string& dir,
-                  std::span<const ShardRunStatsRecord> shard_stats = {});
+                  std::span<const ShardRunStatsRecord> shard_stats = {},
+                  SpillStats* stats = nullptr);
   ~SpilledModeCopy();
 
   SpilledModeCopy(const SpilledModeCopy&) = delete;

@@ -11,6 +11,7 @@
 
 #include "io/mapped_file.hpp"
 #include "tensor/tns_io.hpp"
+#include "util/fault.hpp"
 
 namespace amped::io {
 
@@ -111,6 +112,10 @@ AtomicFileWriter::~AtomicFileWriter() {
 
 void AtomicFileWriter::write(const void* data, std::size_t bytes) {
   if (bytes == 0) return;
+  if (file_ == nullptr) {
+    fail("write to " + temp_path_ + " after commit or close");
+  }
+  AMPED_FAULT_POINT("snapshot.write");
   if (std::fwrite(data, 1, bytes, file_) != bytes) {
     fail("short write to " + temp_path_);
   }
@@ -131,15 +136,22 @@ void AtomicFileWriter::pad_to(std::uint64_t offset) {
 }
 
 void AtomicFileWriter::commit() {
+  if (file_ == nullptr) fail("commit of " + temp_path_ + " after close");
   if (std::fflush(file_) != 0) fail("flush failed for " + temp_path_);
-  if (::fsync(::fileno(file_)) != 0) {
-    fail("fsync failed for " + temp_path_ + ": " + std::strerror(errno));
+  AMPED_FAULT_POINT("snapshot.fsync");
+  // fsync may be interrupted by a signal before any I/O happens; retry
+  // until it succeeds or fails for a real reason.
+  while (::fsync(::fileno(file_)) != 0) {
+    if (errno != EINTR) {
+      fail("fsync failed for " + temp_path_ + ": " + std::strerror(errno));
+    }
   }
   if (std::fclose(file_) != 0) {
     file_ = nullptr;
     fail("close failed for " + temp_path_);
   }
   file_ = nullptr;
+  AMPED_FAULT_POINT("snapshot.rename");
   std::error_code ec;
   std::filesystem::rename(temp_path_, path_, ec);
   if (ec) {
@@ -226,6 +238,7 @@ void write_snapshot_file(const CooTensor& t, const std::string& path,
 SnapshotView parse_snapshot(std::span<const std::byte> file,
                             bool verify_checksums,
                             const std::string& context) {
+  AMPED_FAULT_POINT("snapshot.read");
   auto bad = [&](const std::string& what) -> void {
     fail(what + " in " + context);
   };

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "io/mapped_file.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped::io {
@@ -111,6 +112,9 @@ struct ChunkResult {
 };
 
 void parse_chunk(std::string_view text, Chunk chunk, ChunkResult& out) {
+  // Fires inside pool workers on the parallel path; the driver folds the
+  // exception through its chunk-error channel and rethrows it intact.
+  AMPED_FAULT_POINT("ingest.chunk");
   std::vector<double> fields;
   std::size_t pos = chunk.begin;
   while (pos < chunk.end) {

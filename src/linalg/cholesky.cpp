@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/logging.hpp"
+
 namespace amped::linalg {
 
 std::optional<DenseMatrix> cholesky(const DenseMatrix& m, double ridge) {
@@ -61,9 +63,20 @@ void solve_normal_equations(const DenseMatrix& m, DenseMatrix& rhs) {
   while (!l) {
     ridge = ridge == 0.0 ? step : ridge * 10.0;
     if (ridge > 1e6 * step) {
-      throw std::runtime_error("cholesky: matrix irrecoverably singular");
+      throw std::runtime_error(
+          "cholesky: gram matrix irrecoverably singular (ridge grew to " +
+          std::to_string(ridge) + " without a positive-definite "
+          "factorisation — degenerate factors or corrupt input)");
     }
     l = cholesky(m, ridge);
+  }
+  if (ridge != 0.0) {
+    // The solve succeeded only after regularisation: the gram was
+    // (numerically) singular. The run continues — ridge regression is
+    // the standard ALS remedy — but the conditioning problem is worth a
+    // diagnostic, not silence.
+    AMPED_LOG_WARN << "cholesky: singular gram matrix regularised with "
+                   << "ridge " << ridge << " (trace " << trace << ")";
   }
   for (std::size_t row = 0; row < rhs.rows(); ++row) {
     cholesky_solve_inplace(*l, rhs.row(row));

@@ -7,6 +7,7 @@
 #include "core/mttkrp.hpp"
 #include "exec/backend.hpp"
 #include "io/memory_budget.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped {
@@ -76,6 +77,16 @@ void apply_common_flags(const CliArgs& args) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: invalid --memory-budget value: %s\n",
                    e.what());
+      std::exit(2);
+    }
+  }
+  if (args.has("faults")) {
+    // Same grammar as AMPED_FAULTS (util/fault.hpp); the flag arms sites
+    // in addition to whatever the environment armed.
+    try {
+      fault::configure(args.get("faults", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: invalid --faults value: %s\n", e.what());
       std::exit(2);
     }
   }
