@@ -29,6 +29,7 @@
 #include "sim/platform.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/tns_io.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -411,6 +412,58 @@ void bm_dispatch_reference(benchmark::State& state) {
 }
 BENCHMARK(bm_dispatch_reference)->Name("dispatch/reference_loop")
     ->Unit(benchmark::kMillisecond);
+
+// The same sweep with the metrics registry disabled: CI compares
+// dispatch/plan_engine against this series and fails if instrumentation
+// costs more than 2% (the counters on this path drop after one relaxed
+// flag load when disabled, so the delta IS the instrumentation price).
+void bm_dispatch_plan_metrics_off(benchmark::State& state) {
+  metrics::set_enabled(false);
+  bm_dispatch(state, [](auto&... args) { return mttkrp_all_modes(args...); });
+  metrics::set_enabled(true);
+}
+BENCHMARK(bm_dispatch_plan_metrics_off)->Name("dispatch/plan_engine_metrics_off")
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Metrics-overhead microbenchmarks: the raw cost of one instrumentation
+// event, on and off, so a regression in the hot-path price is visible
+// without running a full sweep.
+
+void bm_metrics_counter_inc(benchmark::State& state) {
+  auto& c = metrics::counter("bench.counter");
+  for (auto _ : state) c.inc();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_metrics_counter_inc)->Name("metrics/counter_inc");
+
+void bm_metrics_counter_inc_disabled(benchmark::State& state) {
+  auto& c = metrics::counter("bench.counter_off");
+  metrics::set_enabled(false);
+  for (auto _ : state) c.inc();
+  metrics::set_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_metrics_counter_inc_disabled)
+    ->Name("metrics/counter_inc_disabled");
+
+void bm_metrics_histogram_record(benchmark::State& state) {
+  auto& h = metrics::histogram("bench.hist");
+  for (auto _ : state) h.record_seconds(1e-6);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_metrics_histogram_record)->Name("metrics/histogram_record");
+
+void bm_metrics_snapshot(benchmark::State& state) {
+  metrics::counter("bench.snap").inc();
+  metrics::histogram("bench.snap_hist").record_seconds(1e-6);
+  for (auto _ : state) {
+    auto json = metrics::Registry::global().snapshot_json();
+    benchmark::DoNotOptimize(json.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_metrics_snapshot)->Name("metrics/snapshot_json");
 
 }  // namespace
 

@@ -14,7 +14,22 @@
 //                                 (default) or for real on host threads
 //                                 (exec/host_backend.hpp)
 //   --trace out.json              write a Chrome-format timeline of the
-//                                 simulated run (sim backend only)
+//                                 run: modelled timestamps under the sim
+//                                 backend, measured wall-clock timestamps
+//                                 from the lane/copy-engine/worker threads
+//                                 under --backend host — same rows and
+//                                 labels, so the two files render
+//                                 side-by-side in Perfetto
+//
+// Observability flags (util/metrics.hpp):
+//   --report-json out.json        write one machine-readable run report:
+//                                 job config, fit/iteration result,
+//                                 measured-vs-predicted per-phase times,
+//                                 preprocess + fault-recovery stats,
+//                                 checkpoint/resume events, and the full
+//                                 metrics snapshot
+//   --log-level LEVEL             stderr log threshold (error|warn|info|
+//                                 debug, same as AMPED_LOG_LEVEL)
 //
 // Storage-engine flags:
 //   --write-snapshot out.amptns   convert the input to a v2 snapshot
@@ -65,6 +80,8 @@
 #include "tensor/generator.hpp"
 #include "tensor/tns_io.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -253,6 +270,108 @@ int run_batch(const amped::CliArgs& args, amped::CpdOptions opt, int gpus,
   return 0;
 }
 
+// The --report-json run report: everything a CI job or a notebook needs
+// to judge a run without scraping stdout. Top-level keys (strict JSON,
+// schema_version bumps when a key changes meaning):
+//   config       effective job configuration after flag parsing
+//   result       fit / iterations / convergence / total MTTKRP seconds
+//   phases       measured seconds per phase, with the cost model's
+//                prediction alongside where the model prices that phase
+//                (sim backend: prediction == measurement by construction)
+//   preprocess   build wall time, bytes, spill + fault-recovery counts
+//   fault_recovery  process-wide recovery counters (build + streaming)
+//   checkpoint   checkpoints written, resume events
+//   trace        event/dropped counts (present only when --trace ran)
+//   metrics      the full registry snapshot (util/metrics.hpp schema)
+bool write_report_json(const std::string& path, const amped::CliArgs& args,
+                       const amped::CpdOptions& opt, int gpus,
+                       const amped::PreprocessStats& prep,
+                       const amped::CpdResult& result,
+                       const amped::sim::TraceLog* trace) {
+  using namespace amped;
+  std::ofstream out(path);
+  if (!out) return false;
+  json::Writer w(out);
+  w.begin_object();
+  w.member("schema_version", 1);
+
+  w.key("config").begin_object();
+  w.member("input", args.get("input", "demo_tensor.tns"));
+  w.member("gpus", gpus);
+  w.member("rank", opt.rank);
+  w.member("max_iterations", opt.max_iterations);
+  w.member("tolerance", opt.tolerance);
+  w.member("backend", to_string(opt.mttkrp.backend));
+  w.member("policy", exec::make_scheduler(opt.mttkrp)->name());
+  w.member("allgather", to_string(opt.mttkrp.allgather));
+  w.member("pipelined", opt.mttkrp.pipelined_streaming);
+  w.member("checkpoint_path", opt.checkpoint_path);
+  w.member("resume", opt.resume);
+  w.end_object();
+
+  w.key("result").begin_object();
+  w.member("fit", result.fit);
+  w.member("iterations", result.iterations);
+  w.member("converged", result.converged);
+  w.member("mttkrp_seconds", result.mttkrp_sim_seconds);
+  w.end_object();
+
+  w.key("phases").begin_object();
+  w.key("compute").begin_object();
+  w.member("measured_seconds", result.compute_seconds);
+  w.member("predicted_seconds", result.predicted_compute_seconds);
+  w.end_object();
+  w.key("h2d").begin_object();
+  w.member("measured_seconds", result.h2d_seconds);
+  w.member("predicted_seconds", result.predicted_h2d_seconds);
+  w.end_object();
+  w.key("p2p").begin_object();
+  w.member("measured_seconds", result.p2p_seconds);
+  w.end_object();
+  w.key("sync").begin_object();
+  w.member("measured_seconds", result.sync_seconds);
+  w.end_object();
+  w.end_object();
+
+  w.key("preprocess").begin_object();
+  w.member("wall_seconds", prep.wall_seconds);
+  w.member("bytes_built", prep.bytes_built);
+  w.member("spilled", prep.spilled);
+  w.member("spill_retries", prep.spill_retries);
+  w.member("spill_rebuilds", prep.spill_rebuilds);
+  w.member("degraded_to_resident", prep.degraded_to_resident);
+  w.end_object();
+
+  // Process-wide recovery counters: unlike the preprocess block above
+  // (build-time only) these include retries/rebuilds hit while streaming
+  // shards during the solve.
+  w.key("fault_recovery").begin_object();
+  w.member("spill_retries", metrics::counter("stream.spill_retries").value());
+  w.member("spill_rebuilds",
+           metrics::counter("stream.spill_rebuilds").value());
+  w.member("degraded_to_resident",
+           metrics::counter("build.degraded_to_resident").value());
+  w.end_object();
+
+  w.key("checkpoint").begin_object();
+  w.member("checkpoints_written", result.checkpoints_written);
+  w.member("resumed", result.resumed);
+  w.member("resume_iteration", result.resume_iteration);
+  w.end_object();
+
+  if (trace != nullptr) {
+    w.key("trace").begin_object();
+    w.member("events", trace->events().size());
+    w.member("dropped", trace->dropped());
+    w.end_object();
+  }
+
+  w.key("metrics").raw(metrics::Registry::global().snapshot_json());
+  w.end_object();
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,15 +385,6 @@ int main(int argc, char** argv) {
   const std::string output = args.get("output", "model.ampfac");
   const bool host_backend =
       opt.mttkrp.backend == exec::ExecBackend::kHostParallel;
-
-  // Options that only make sense against the simulated clock must not
-  // silently fall back to simulating: refuse the combination outright.
-  if (host_backend && args.has("trace")) {
-    std::fprintf(stderr,
-                 "usage error: --trace records the simulated timeline and "
-                 "cannot be combined with --backend host\n");
-    return 2;
-  }
 
   // Checkpoint/restart knobs apply to both the solo and the batch path
   // (cpd_batch appends ".<index>" per tensor).
@@ -356,6 +466,9 @@ int main(int argc, char** argv) {
 
   auto platform = sim::make_default_platform(gpus);
   sim::TraceLog trace;
+  // Both backends feed the same trace: the simulator records modelled
+  // timestamps, the host backend records wall clock from its lane and
+  // copy-engine threads (exec/host_backend.cpp reads platform.trace()).
   if (args.has("trace")) platform.attach_trace(&trace);
   opt.rank = rank;
   opt.max_iterations = iters;
@@ -428,7 +541,19 @@ int main(int argc, char** argv) {
   if (args.has("trace")) {
     const std::string trace_path = args.get("trace", "trace.json");
     trace.write_chrome_json_file(trace_path);
-    std::printf("simulated timeline written to %s\n", trace_path.c_str());
+    std::printf("%s timeline written to %s (%zu events)\n",
+                host_backend ? "measured" : "simulated", trace_path.c_str(),
+                trace.events().size());
+  }
+  if (args.has("report-json")) {
+    const std::string report_path = args.get("report-json", "report.json");
+    if (!write_report_json(report_path, args, opt, gpus, prep, result,
+                           args.has("trace") ? &trace : nullptr)) {
+      std::fprintf(stderr, "error: cannot write run report to %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    std::printf("run report written to %s\n", report_path.c_str());
   }
   if (budget.limit() != 0) {
     std::printf("tracked host memory peak: %s of %s budget\n",

@@ -10,6 +10,7 @@
 #include "io/memory_budget.hpp"
 #include "io/shard_stream.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -158,6 +159,7 @@ AmpedTensor AmpedTensor::build_impl(const Input& input,
         copy.tensor = std::move(sorted);
         copy.reservation = std::move(charge);
         ++degraded;
+        metrics::counter("build.degraded_to_resident").inc();
       }
       out.copies_[d] = std::move(copy);
     }
@@ -174,6 +176,15 @@ AmpedTensor AmpedTensor::build_impl(const Input& input,
         model_amped_preprocess_seconds(input.nnz(), input.num_modes());
     stats->bytes_built = out.total_bytes();
     stats->spilled = spill;
+  }
+  // Mirror PreprocessStats into the registry so --report-json and the
+  // metrics snapshot agree with the stats struct callers get in hand.
+  {
+    static metrics::Histogram& build_seconds =
+        metrics::histogram("build.wall_seconds");
+    build_seconds.record_seconds(timer.seconds());
+    metrics::counter("build.bytes").inc(out.total_bytes());
+    if (spill) metrics::counter("build.spilled").inc();
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #include "core/mttkrp.hpp"
 #include "sim/platform.hpp"
 #include "tensor/dense_matrix.hpp"
+#include "util/timer.hpp"
 
 namespace amped {
 
@@ -49,6 +50,20 @@ struct CpdResult {
   // default backend, measured wall seconds under ExecBackend::kHostParallel.
   double mttkrp_sim_seconds = 0.0;
   std::vector<double> fit_history;  // fit after each iteration
+  // Per-phase totals summed over every mode of every iteration (the
+  // ModeBreakdown categories), plus the cost model's prices of the same
+  // work — the measured-vs-predicted pairs --report-json emits per phase.
+  double h2d_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double p2p_seconds = 0.0;
+  double sync_seconds = 0.0;
+  double predicted_compute_seconds = 0.0;
+  double predicted_h2d_seconds = 0.0;
+  // Checkpoint/resume events of this run (cp_als fills these; the
+  // batched driver manages its own checkpoint paths).
+  bool resumed = false;
+  std::size_t resume_iteration = 0;   // iteration restored from disk
+  std::size_t checkpoints_written = 0;
 };
 
 // Frobenius norm squared of the tensor's nonzero values.
@@ -105,6 +120,10 @@ class AlsState {
   double prev_fit_ = 0.0;
   double iprod_ = 0.0;
   bool done_ = false;
+  // Heartbeat bookkeeping: wall clock of the current iteration and the
+  // MTTKRP total at its start, so finish_iteration can report deltas.
+  WallTimer iter_timer_;
+  double last_mttkrp_total_ = 0.0;
 };
 
 }  // namespace detail

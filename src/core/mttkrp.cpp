@@ -74,6 +74,10 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
     for (double t : run.per_gpu_compute) bd.compute += t;
     bd.p2p = run.wall_allgather;
     bd.sync = run.wall_sync;
+    for (double t : run.per_gpu_predicted_compute) {
+      bd.predicted_compute += t;
+    }
+    bd.predicted_h2d = run.predicted_h2d;
     return bd;
   }
 
@@ -86,6 +90,9 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
   bd.p2p = agg1.total(sim::Phase::kPeerToPeer) -
            agg0.total(sim::Phase::kPeerToPeer);
   bd.sync = agg1.total(sim::Phase::kSync) - agg0.total(sim::Phase::kSync);
+  // The simulator's measurement IS the model's prediction.
+  bd.predicted_compute = bd.compute;
+  bd.predicted_h2d = bd.h2d;
   return bd;
 }
 

@@ -66,6 +66,13 @@ struct ModeBreakdown {
   double p2p = 0.0;        // per-GPU-summed all-gather seconds
   double sync = 0.0;       // per-GPU-summed barrier stalls
   std::vector<double> per_gpu_compute;  // EC seconds by GPU (Fig. 8)
+  // Cost-model prices of the same work. Under the simulator these equal
+  // compute/h2d (modelled time IS the measurement); under the host
+  // backend they are the model's prediction for the kernels and staged
+  // transfers the run actually executed, making every mode a directly
+  // comparable (measured, predicted) pair for --report-json.
+  double predicted_compute = 0.0;
+  double predicted_h2d = 0.0;
 };
 
 struct MttkrpReport {

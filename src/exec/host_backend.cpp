@@ -12,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "sim/trace.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -124,7 +126,49 @@ struct RunContext {
   Plan& plan;
   const WallTimer& clock;  // whole-run timer; lane-end offsets read it
   CancelGroup& cg;         // one per run_plan_host_parallel call
+  sim::TraceLog* trace;    // platform's attached trace, or nullptr
 };
+
+// Start stamp for a trace span: seconds on the shared log's clock, so
+// events from every plan run in one job land on one monotone time base.
+double trace_now(const RunContext& rc) {
+  return rc.trace != nullptr ? rc.trace->host_now() : 0.0;
+}
+
+// Records one wall-clock operation. Engine 0 is the lane/worker/compute
+// thread, engine 1 the pipelined lane's copy engine — the same rows the
+// simulator's events map to, so sim and host traces of one plan render
+// side by side.
+void trace_op(const RunContext& rc, int device, int engine, sim::Phase phase,
+              double start_s, double duration_s, std::string label) {
+  if (rc.trace == nullptr) return;
+  sim::TraceEvent e;
+  e.device = device;
+  e.engine = engine;
+  e.phase = phase;
+  e.start_s = start_s;
+  e.duration_s = duration_s;
+  e.label = std::move(label);
+  rc.trace->record(std::move(e));
+}
+
+// Mirrors the simulator's kernel labelling (shard grids only); unlabelled
+// kernels fall back to the phase name in the Chrome export, same as sim.
+std::string kernel_label(const Task& t) {
+  return t.labelled ? shard_label(t) : std::string();
+}
+
+std::string h2d_label(const Task& t) {
+  return "h2d scope" + std::to_string(t.scope) + " [" +
+         std::to_string(t.payload_begin) + "," +
+         std::to_string(t.payload_end) + ")";
+}
+
+metrics::Histogram& kernel_seconds_hist() {
+  static metrics::Histogram& h =
+      metrics::histogram("exec.host.kernel_seconds");
+  return h;
+}
 
 // Groups `ids` into dispatch units: consecutive tasks through their
 // closing kernel (the same unit boundary the simulator's dynamic
@@ -166,13 +210,18 @@ void run_lane_sequential(RunContext& rc, int gpu,
     Task& t = plan.tasks[id];
     switch (t.kind) {
       case TaskKind::kSpillFetch: {
+        const double ts = trace_now(rc);
         WallTimer w;
         view = plan.streamers[t.streamer]->acquire(t.stream_pos);
         have_view = true;
-        stats.fetch += w.seconds();
+        const double el = w.seconds();
+        stats.fetch += el;
+        trace_op(rc, gpu, 0, sim::Phase::kHostCompute, ts, el,
+                 "fetch pos" + std::to_string(t.stream_pos));
         break;
       }
       case TaskKind::kH2D: {
+        const double ts = trace_now(rc);
         WallTimer w;
         if (annotated(t)) {
           assert(have_view && "annotated H2D with no stream view");
@@ -180,8 +229,11 @@ void run_lane_sequential(RunContext& rc, int gpu,
         } else {
           staged.valid = false;
         }
-        stats.h2d += w.seconds();
+        const double el = w.seconds();
+        stats.h2d += el;
         stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
+        trace_op(rc, gpu, 0, sim::Phase::kHostToDevice, ts, el,
+                 h2d_label(t));
         break;
       }
       case TaskKind::kD2H: {
@@ -189,6 +241,7 @@ void run_lane_sequential(RunContext& rc, int gpu,
         // byte count through a bounce buffer so the transfer is a real
         // copy of the plan's size — the slot a device port fills with a
         // genuine device-to-host DMA.
+        const double ts = trace_now(rc);
         WallTimer w;
         bounce_src.resize(t.transfer_bytes);
         bounce_dst.resize(t.transfer_bytes);
@@ -196,13 +249,17 @@ void run_lane_sequential(RunContext& rc, int gpu,
           std::memcpy(bounce_dst.data(), bounce_src.data(),
                       t.transfer_bytes);
         }
-        stats.d2h += w.seconds();
+        const double el = w.seconds();
+        stats.d2h += el;
+        trace_op(rc, gpu, 0, sim::Phase::kDeviceToHost, ts, el,
+                 "d2h scope" + std::to_string(t.scope));
         break;
       }
       case TaskKind::kKernel: {
         const ExecContext ctx{rc.platform, gpu,
                               staged.valid ? &staged.view
                                            : (have_view ? &view : nullptr)};
+        const double ts = trace_now(rc);
         WallTimer w;
         const double predicted = t.kernel(ctx);
         const double wall = w.seconds();
@@ -210,6 +267,9 @@ void run_lane_sequential(RunContext& rc, int gpu,
         stats.predicted_compute += predicted;
         stats.scope_compute[t.scope] += wall;
         stats.scope_rows[t.scope] += t.owned_rows;
+        kernel_seconds_hist().record_seconds(wall);
+        trace_op(rc, gpu, 0, sim::Phase::kCompute, ts, wall,
+                 kernel_label(t));
         break;
       }
       default:
@@ -287,17 +347,25 @@ void run_lane_pipelined(RunContext& rc, int gpu,
         for (std::size_t id : units[u]) {
           Task& t = rc.plan.tasks[id];
           if (t.kind == TaskKind::kSpillFetch) {
+            const double ts = trace_now(rc);
             WallTimer w;
             view = rc.plan.streamers[t.streamer]->acquire(t.stream_pos);
             have_view = true;
-            stats.fetch += w.seconds();
+            const double el = w.seconds();
+            stats.fetch += el;
+            trace_op(rc, gpu, 1, sim::Phase::kHostCompute, ts, el,
+                     "fetch pos" + std::to_string(t.stream_pos));
           } else if (t.kind == TaskKind::kH2D) {
+            const double ts = trace_now(rc);
             WallTimer w;
             assert(have_view && "annotated H2D with no stream view");
             stage_payload(view, t.payload_begin, t.payload_end,
                           ring[u % 2]);
-            stats.h2d += w.seconds();
+            const double el = w.seconds();
+            stats.h2d += el;
             stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
+            trace_op(rc, gpu, 1, sim::Phase::kHostToDevice, ts, el,
+                     h2d_label(t));
           }
         }
         {
@@ -333,6 +401,7 @@ void run_lane_pipelined(RunContext& rc, int gpu,
         const ExecContext ctx{rc.platform, gpu,
                               ring[u % 2].valid ? &ring[u % 2].view
                                                 : nullptr};
+        const double ts = trace_now(rc);
         WallTimer w;
         const double predicted = t.kernel(ctx);
         const double wall = w.seconds();
@@ -340,6 +409,9 @@ void run_lane_pipelined(RunContext& rc, int gpu,
         stats.predicted_compute += predicted;
         stats.scope_compute[t.scope] += wall;
         stats.scope_rows[t.scope] += t.owned_rows;
+        kernel_seconds_hist().record_seconds(wall);
+        trace_op(rc, gpu, 0, sim::Phase::kCompute, ts, wall,
+                 kernel_label(t));
       }
       {
         std::lock_guard lock(mu);
@@ -378,12 +450,22 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
     const Task& t = plan.tasks[id];
     if (t.kind == TaskKind::kH2D && !annotated(t)) all_annotated = false;
   }
+  // Dispatch decisions are an observable the scheduler work cares about:
+  // one counter per GPU, resolved once per segment (registration locks).
+  std::vector<metrics::Counter*> units_dispatched;
+  units_dispatched.reserve(static_cast<std::size_t>(m));
+  for (int g = 0; g < m; ++g) {
+    units_dispatched.push_back(&metrics::counter(
+        "sched.host.units_dispatched.gpu" + std::to_string(g)));
+  }
+
   if (!all_annotated || m <= 1 || host_parallelism() <= 1 ||
       units.size() <= 1) {
     // Serial fallback: units round-robin across GPUs so per-GPU
     // accounting still spreads (and unannotated kernels can read the
     // stream view without a racing acquire).
     for (std::size_t u = 0; u < units.size(); ++u) {
+      units_dispatched[u % m]->inc();
       run_lane_sequential(rc, static_cast<int>(u % m), units[u],
                           per_gpu[u % m]);
     }
@@ -412,20 +494,29 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
             if (next == units.size() || cg.cancelled()) break;
             u = next++;
             AMPED_FAULT_POINT("host.worker");
+            units_dispatched[static_cast<std::size_t>(g)]->inc();
             for (std::size_t id : units[u]) {
               Task& t = plan.tasks[id];
               if (t.kind == TaskKind::kSpillFetch) {
+                const double ts = trace_now(rc);
                 WallTimer w;
                 shared_view = plan.streamers[t.streamer]->acquire(
                     t.stream_pos);
-                stats.fetch += w.seconds();
+                const double el = w.seconds();
+                stats.fetch += el;
+                trace_op(rc, g, 0, sim::Phase::kHostCompute, ts, el,
+                         "fetch pos" + std::to_string(t.stream_pos));
               } else if (t.kind == TaskKind::kH2D) {
+                const double ts = trace_now(rc);
                 WallTimer w;
                 stage_payload(shared_view, t.payload_begin, t.payload_end,
                               staged);
-                stats.h2d += w.seconds();
+                const double el = w.seconds();
+                stats.h2d += el;
                 stats.predicted_h2d +=
                     rc.platform.h2d_seconds(t.transfer_bytes);
+                trace_op(rc, g, 0, sim::Phase::kHostToDevice, ts, el,
+                         h2d_label(t));
               }
             }
           }
@@ -433,6 +524,7 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
           for (std::size_t id : units[u]) {
             Task& t = plan.tasks[id];
             if (t.kind == TaskKind::kD2H) {
+              const double ts = trace_now(rc);
               WallTimer w;
               bounce_src.resize(t.transfer_bytes);
               bounce_dst.resize(t.transfer_bytes);
@@ -440,10 +532,14 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
                 std::memcpy(bounce_dst.data(), bounce_src.data(),
                             t.transfer_bytes);
               }
-              stats.d2h += w.seconds();
+              const double el = w.seconds();
+              stats.d2h += el;
+              trace_op(rc, g, 0, sim::Phase::kDeviceToHost, ts, el,
+                       "d2h scope" + std::to_string(t.scope));
             } else if (t.kind == TaskKind::kKernel) {
               const ExecContext ctx{rc.platform, g,
                                     staged.valid ? &staged.view : nullptr};
+              const double ts = trace_now(rc);
               WallTimer w;
               const double predicted = t.kernel(ctx);
               const double wall = w.seconds();
@@ -451,6 +547,9 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
               stats.predicted_compute += predicted;
               stats.scope_compute[t.scope] += wall;
               stats.scope_rows[t.scope] += t.owned_rows;
+              kernel_seconds_hist().record_seconds(wall);
+              trace_op(rc, g, 0, sim::Phase::kCompute, ts, wall,
+                       kernel_label(t));
             }
           }
         }
@@ -478,7 +577,7 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
 
   const WallTimer run_clock;
   CancelGroup cg;
-  RunContext rc{platform, plan, run_clock, cg};
+  RunContext rc{platform, plan, run_clock, cg, platform.trace()};
 
   auto make_stats = [&] {
     LaneStats s;
@@ -588,10 +687,14 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
   for (std::size_t id = 0; id < plan.tasks.size(); ++id) {
     Task& t = plan.tasks[id];
     switch (t.kind) {
-      case TaskKind::kBarrier:
+      case TaskKind::kBarrier: {
         // Joining the lane threads in flush() IS the barrier.
+        const double ts = trace_now(rc);
+        WallTimer w;
         flush();
+        trace_op(rc, -1, 0, sim::Phase::kSync, ts, w.seconds(), "barrier");
         break;
+      }
       case TaskKind::kAllGather: {
         flush();
         // Factor mirrors are shared host memory, so there is nothing to
@@ -599,15 +702,22 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
         // barrier, before the next segment) and its measured cost. A
         // device port replaces this branch with real peer copies sized
         // scope_owned_rows[scope][g] * row_bytes, like the simulator.
+        const double ts = trace_now(rc);
         WallTimer w;
-        report.wall_allgather += w.seconds();
+        const double el = w.seconds();
+        report.wall_allgather += el;
+        trace_op(rc, -1, 0, sim::Phase::kPeerToPeer, ts, el,
+                 "allgather scope" + std::to_string(t.scope));
         break;
       }
       case TaskKind::kHostOp: {
         flush();
+        const double ts = trace_now(rc);
         WallTimer w;
         t.host_op(platform);
-        report.wall_host_op += w.seconds();
+        const double el = w.seconds();
+        report.wall_host_op += el;
+        trace_op(rc, -1, 0, sim::Phase::kHostCompute, ts, el, "host op");
         break;
       }
       default:

@@ -7,18 +7,30 @@
 #include <utility>
 
 #include "exec/host_backend.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped::exec {
 
-namespace {
-
-// Trace label of a shard grid, matching the pre-engine loop verbatim so
-// trace consumers (and trace_test) see identical events.
 std::string shard_label(const Task& t) {
   return "grid mode" + std::to_string(t.mode) + " idx[" +
          std::to_string(t.index_begin) + "," + std::to_string(t.index_end) +
          ")";
+}
+
+namespace {
+
+// Per-GPU dispatch counters, resolved once per dynamic segment (the
+// registry lookup locks; the per-unit inc is one relaxed add). Shared
+// name family with the host backend's "sched.host.units_dispatched.*".
+std::vector<metrics::Counter*> dispatch_counters(int m) {
+  std::vector<metrics::Counter*> counters;
+  counters.reserve(static_cast<std::size_t>(m));
+  for (int g = 0; g < m; ++g) {
+    counters.push_back(&metrics::counter("sched.sim.units_dispatched.gpu" +
+                                         std::to_string(g)));
+  }
+  return counters;
 }
 
 }  // namespace
@@ -143,12 +155,14 @@ ExecReport PlanExecutor::run(Plan& plan) {
     using Entry = std::pair<double, int>;  // (clock, gpu)
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> idle;
     for (int g = 0; g < m; ++g) idle.push({platform_.gpu(g).clock(), g});
+    std::vector<metrics::Counter*> dispatched = dispatch_counters(m);
     std::vector<std::size_t> unit;
     for (std::size_t id : ids) {
       unit.push_back(id);
       if (plan.tasks[id].kind != TaskKind::kKernel) continue;
       auto [clock, g] = idle.top();
       idle.pop();
+      dispatched[static_cast<std::size_t>(g)]->inc();
       run_lane(g, unit);
       unit.clear();
       idle.push({platform_.gpu(g).clock(), g});
@@ -176,6 +190,8 @@ ExecReport PlanExecutor::run(Plan& plan) {
     }
     io::ShardStreamer::View view;
     bool have_view = false;
+    std::vector<metrics::Counter*> dispatched = dispatch_counters(m);
+    metrics::Counter& lookahead_wins = metrics::counter("sched.lookahead_wins");
     std::vector<std::size_t> unit;
     for (std::size_t id : ids) {
       unit.push_back(id);
@@ -192,6 +208,8 @@ ExecReport PlanExecutor::run(Plan& plan) {
       }
       int best = 0;
       double best_start = 0.0;
+      int greedy = 0;  // what compute-frontier-only dispatch would pick
+      double greedy_start = 0.0;
       for (int g = 0; g < m; ++g) {
         const auto& p = pipe[static_cast<std::size_t>(g)];
         const double start_at = std::max(p.compute, p.copy + h2d_seconds);
@@ -199,7 +217,15 @@ ExecReport PlanExecutor::run(Plan& plan) {
           best = g;
           best_start = start_at;
         }
+        if (g == 0 || p.compute < greedy_start) {
+          greedy = g;
+          greedy_start = p.compute;
+        }
       }
+      dispatched[static_cast<std::size_t>(best)]->inc();
+      // A "win" is a unit the copy-backlog criterion routed somewhere the
+      // compute frontier alone would not have.
+      if (best != greedy) lookahead_wins.inc();
       auto& p = pipe[static_cast<std::size_t>(best)];
       const ExecContext ctx{platform_, best, &view};
       const ExecContext ctx_no_view{platform_, best, nullptr};

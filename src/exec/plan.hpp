@@ -142,6 +142,12 @@ struct Task {
   std::function<void(sim::Platform&)> host_op;
 };
 
+// Trace label of a labelled kernel task ("grid mode<M> idx[b,e)"),
+// matching the pre-engine loop verbatim. Shared by the simulated and
+// host backends so the two traces of one plan carry identical kernel
+// labels and line up row-for-row in Perfetto.
+std::string shard_label(const Task& t);
+
 struct Plan {
   std::string scheduler;  // name of the scheduler that lowered this plan
   std::size_t mode = 0;   // output mode (reporting only)

@@ -6,8 +6,30 @@
 #include <stdexcept>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 namespace amped::io {
+
+namespace {
+
+// Budget observables: the gauges track the live/high-water byte counts
+// (mirrors of in_use_/peak_ for the metrics snapshot), the counter every
+// charge the limit rejected. Updated inside the budget's own lock, which
+// is fine — the registry never locks back into the budget.
+metrics::Gauge& in_use_gauge() {
+  static metrics::Gauge& g = metrics::gauge("budget.in_use_bytes");
+  return g;
+}
+metrics::Gauge& peak_gauge() {
+  static metrics::Gauge& g = metrics::gauge("budget.peak_bytes");
+  return g;
+}
+metrics::Counter& rejections_counter() {
+  static metrics::Counter& c = metrics::counter("budget.rejections");
+  return c;
+}
+
+}  // namespace
 
 std::uint64_t parse_byte_size(const std::string& text) {
   if (text.empty()) {
@@ -122,6 +144,7 @@ void HostMemoryBudget::reset_peak() {
 void HostMemoryBudget::charge(std::uint64_t bytes, const char* what) {
   std::lock_guard lock(mutex_);
   if (limit_ != 0 && in_use_ + bytes > limit_) {
+    rejections_counter().inc();
     throw std::runtime_error(
         std::string("memory budget exceeded: ") + what + " needs " +
         format_bytes(bytes) + " but only " +
@@ -130,11 +153,14 @@ void HostMemoryBudget::charge(std::uint64_t bytes, const char* what) {
   }
   in_use_ += bytes;
   if (in_use_ > peak_) peak_ = in_use_;
+  in_use_gauge().set(static_cast<double>(in_use_));
+  peak_gauge().set_max(static_cast<double>(peak_));
 }
 
 void HostMemoryBudget::release(std::uint64_t bytes) {
   std::lock_guard lock(mutex_);
   in_use_ = in_use_ > bytes ? in_use_ - bytes : 0;
+  in_use_gauge().set(static_cast<double>(in_use_));
 }
 
 BudgetReservation::BudgetReservation(HostMemoryBudget& budget,

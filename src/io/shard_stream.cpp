@@ -12,6 +12,7 @@
 #include "io/snapshot.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped::io {
@@ -83,6 +84,14 @@ SpilledModeCopy::SpilledModeCopy(const CooTensor& sorted, std::size_t mode,
   if (stats != nullptr) {
     stats->retries += local.retries;
     stats->rebuilds += local.rebuilds;
+  }
+  if (local.retries) {
+    metrics::counter("stream.spill_retries")
+        .inc(static_cast<std::uint64_t>(local.retries));
+  }
+  if (local.rebuilds) {
+    metrics::counter("stream.spill_rebuilds")
+        .inc(static_cast<std::uint64_t>(local.rebuilds));
   }
 }
 
@@ -229,10 +238,19 @@ ShardStreamer::View ShardStreamer::acquire(std::size_t pos) {
   if (slot.state == kQueued && slot.pos == pos) {
     // All workers busy — claim the queued load and run it inline rather
     // than blocking on a task that cannot start.
+    static metrics::Counter& inline_loads =
+        metrics::counter("stream.inline_loads");
+    inline_loads.inc();
     slot.state = kRunning;
     lock.unlock();
     st.load(slot, pos);
     lock.lock();
+  } else {
+    // The read-ahead pool either delivered already or is in flight: the
+    // double-buffering did its job.
+    static metrics::Counter& readahead_hits =
+        metrics::counter("stream.readahead_hits");
+    readahead_hits.inc();
   }
   slot.cv.wait(lock, [&] { return slot.state == kDone && slot.pos == pos; });
   if (slot.error) {

@@ -11,6 +11,7 @@
 
 #include "io/mapped_file.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped::io {
@@ -18,6 +19,21 @@ namespace amped::io {
 namespace {
 
 constexpr std::size_t kMinChunkBytes = 1u << 16;
+
+// Ingest observables: how many chunks the parallel parser cut, how many
+// bytes they covered, and the per-chunk parse latency distribution.
+metrics::Counter& ingest_chunks() {
+  static metrics::Counter& c = metrics::counter("ingest.chunks");
+  return c;
+}
+metrics::Counter& ingest_bytes() {
+  static metrics::Counter& c = metrics::counter("ingest.bytes");
+  return c;
+}
+metrics::Histogram& ingest_chunk_seconds() {
+  static metrics::Histogram& h = metrics::histogram("ingest.chunk_seconds");
+  return h;
+}
 
 // Parse failure at a byte offset; converted to a 1-based line number once,
 // at the top level (counting newlines per line during the parallel scan
@@ -115,6 +131,7 @@ void parse_chunk(std::string_view text, Chunk chunk, ChunkResult& out) {
   // Fires inside pool workers on the parallel path; the driver folds the
   // exception through its chunk-error channel and rethrows it intact.
   AMPED_FAULT_POINT("ingest.chunk");
+  metrics::ScopedLatency latency(ingest_chunk_seconds());
   std::vector<double> fields;
   std::size_t pos = chunk.begin;
   while (pos < chunk.end) {
@@ -174,6 +191,8 @@ void parse_chunk(std::string_view text, Chunk chunk, ChunkResult& out) {
     }
     out.vals.push_back(static_cast<value_t>(fields[out.num_modes]));
   }
+  ingest_chunks().inc();
+  ingest_bytes().inc(chunk.end - chunk.begin);
 }
 
 }  // namespace

@@ -123,6 +123,7 @@ void Platform::reset() {
 }
 
 void Platform::attach_trace(TraceLog* trace) {
+  trace_ = trace;
   for (auto& g : gpus_) g.set_trace(trace);
   host_->set_trace(trace);
 }

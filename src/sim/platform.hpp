@@ -97,6 +97,9 @@ class Platform {
 
   // Attach/detach an event trace covering every device (nullptr detaches).
   void attach_trace(TraceLog* trace);
+  // The attached trace, if any — the host backend records its wall-clock
+  // events into the same log the simulated devices use.
+  TraceLog* trace() const { return trace_; }
 
  private:
   PlatformConfig config_;
@@ -105,6 +108,7 @@ class Platform {
   std::vector<CostModel> gpu_costs_;  // one per GPU
   CostModel host_cost_;
   bool heterogeneous_ = false;
+  TraceLog* trace_ = nullptr;
 };
 
 // A smaller workstation GPU for heterogeneous-node experiments: roughly an

@@ -1,12 +1,37 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
 
 namespace amped::sim {
 
+namespace {
+
+// Row id for a (device, engine) pair. Devices get two adjacent rows
+// (compute + copy engine) so a pipelined lane renders as a pair; host
+// rows live in a high sentinel range far above any plausible device.
+int chrome_tid(int device, int engine) {
+  if (device >= 0) return device * 2 + engine;
+  return 1000000 + engine;
+}
+
+std::string row_name(int device, int engine) {
+  if (device < 0) return engine == 0 ? "host" : "host copy";
+  std::string name = "gpu" + std::to_string(device);
+  if (engine != 0) name += " copy";
+  return name;
+}
+
+}  // namespace
+
 void TraceLog::record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -15,11 +40,13 @@ void TraceLog::record(TraceEvent event) {
 }
 
 void TraceLog::clear() {
+  std::lock_guard lock(mutex_);
   events_.clear();
   dropped_ = 0;
 }
 
 double TraceLog::total(Phase phase, int device) const {
+  std::lock_guard lock(mutex_);
   double acc = 0.0;
   for (const auto& e : events_) {
     if (e.phase != phase) continue;
@@ -30,23 +57,56 @@ double TraceLog::total(Phase phase, int device) const {
 }
 
 void TraceLog::write_chrome_json(std::ostream& out) const {
-  out << "{\"traceEvents\":[";
-  bool first = true;
+  std::lock_guard lock(mutex_);
+  json::Writer w(out);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  // One thread_name metadata event per (device, engine) row present, so
+  // Perfetto labels the rows identically for sim and host traces.
+  std::vector<std::pair<int, int>> rows;
   for (const auto& e : events_) {
-    if (!first) out << ',';
-    first = false;
-    // Complete event ("ph":"X"): ts/dur in microseconds.
-    out << "{\"name\":\""
-        << (e.label.empty() ? phase_name(e.phase) : e.label)
-        << "\",\"cat\":\"" << phase_name(e.phase)
-        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.device
-        << ",\"ts\":" << e.start_s * 1e6 << ",\"dur\":" << e.duration_s * 1e6
-        << "}";
+    rows.emplace_back(e.device, e.engine);
   }
-  out << "]}";
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  for (const auto& [device, engine] : rows) {
+    w.begin_object();
+    w.member("name", "thread_name");
+    w.member("ph", "M");
+    w.member("pid", 0);
+    w.member("tid", chrome_tid(device, engine));
+    w.key("args").begin_object();
+    w.member("name", row_name(device, engine));
+    w.end_object();
+    w.end_object();
+  }
+  for (const auto& e : events_) {
+    // Complete event ("ph":"X"): ts/dur in microseconds.
+    w.begin_object();
+    w.member("name", e.label.empty()
+                         ? std::string_view(phase_name(e.phase))
+                         : std::string_view(e.label));
+    w.member("cat", phase_name(e.phase));
+    w.member("ph", "X");
+    w.member("pid", 0);
+    w.member("tid", chrome_tid(e.device, e.engine));
+    w.member("ts", e.start_s * 1e6);
+    w.member("dur", e.duration_s * 1e6);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("otherData").begin_object();
+  w.member("dropped_events", static_cast<std::uint64_t>(dropped_));
+  w.end_object();
+  w.end_object();
 }
 
 void TraceLog::write_chrome_json_file(const std::string& path) const {
+  if (dropped() > 0) {
+    AMPED_LOG_WARN << "trace: " << dropped()
+                   << " event(s) dropped at capacity; timeline in " << path
+                   << " is truncated";
+  }
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("trace: cannot open " + path + " for writing");

@@ -8,6 +8,7 @@
 #include "exec/backend.hpp"
 #include "io/memory_budget.hpp"
 #include "util/fault.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace amped {
@@ -62,6 +63,24 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
 }
 
 void apply_common_flags(const CliArgs& args) {
+  if (args.has("log-level")) {
+    // Same vocabulary as AMPED_LOG_LEVEL; the flag wins over the
+    // environment because it is the more deliberate of the two.
+    const std::string level = args.get("log-level", "");
+    if (level == "error") {
+      set_log_level(LogLevel::kError);
+    } else if (level == "warn") {
+      set_log_level(LogLevel::kWarn);
+    } else if (level == "info") {
+      set_log_level(LogLevel::kInfo);
+    } else if (level == "debug") {
+      set_log_level(LogLevel::kDebug);
+    } else {
+      AMPED_LOG_ERROR << "invalid --log-level '" << level
+                      << "' (want error|warn|info|debug)";
+      std::exit(2);
+    }
+  }
   const std::int64_t threads = args.get_int("threads", 0);
   if (threads > 0) {
     set_host_parallelism(static_cast<std::size_t>(threads));
@@ -75,8 +94,7 @@ void apply_common_flags(const CliArgs& args) {
       io::HostMemoryBudget::global().set_limit(
           io::parse_byte_size(args.get("memory-budget", "0")));
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: invalid --memory-budget value: %s\n",
-                   e.what());
+      AMPED_LOG_ERROR << "invalid --memory-budget value: " << e.what();
       std::exit(2);
     }
   }
@@ -86,7 +104,7 @@ void apply_common_flags(const CliArgs& args) {
     try {
       fault::configure(args.get("faults", ""));
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: invalid --faults value: %s\n", e.what());
+      AMPED_LOG_ERROR << "invalid --faults value: " << e.what();
       std::exit(2);
     }
   }
@@ -110,7 +128,7 @@ void apply_common_flags(const CliArgs& args, MttkrpOptions* mttkrp) {
       mttkrp->backend = exec::parse_backend(args.get("backend", ""));
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    AMPED_LOG_ERROR << e.what();
     std::exit(2);
   }
   mttkrp->pipelined_streaming =

@@ -39,10 +39,11 @@ struct MttkrpOptions;
 // host thread pool size (same effect as the AMPED_THREADS environment
 // variable), `--memory-budget SIZE` caps tracked host allocations
 // (same as AMPED_MEMORY_BUDGET; "512M"/"2G" suffixes accepted, 0 =
-// unlimited), and `--faults SPEC` arms fault-injection sites (same
-// grammar as AMPED_FAULTS, e.g. "spill.write:nth=1:times=2:transient" —
-// see util/fault.hpp). Flags win when both a flag and its variable are
-// given.
+// unlimited), `--log-level LEVEL` sets the stderr log threshold
+// (error|warn|info|debug, same as AMPED_LOG_LEVEL), and `--faults SPEC`
+// arms fault-injection sites (same grammar as AMPED_FAULTS, e.g.
+// "spill.write:nth=1:times=2:transient" — see util/fault.hpp). Flags win
+// when both a flag and its variable are given.
 void apply_common_flags(const CliArgs& args);
 
 // Same, plus the execution-engine knobs written into `*mttkrp`:

@@ -1,0 +1,130 @@
+// Minimal streaming JSON writer shared by the observability layer: the
+// metrics snapshot (util/metrics.hpp), the Chrome trace metadata
+// (sim/trace.cpp), and the --report-json run report all emit JSON that a
+// strict parser (python -m json.tool) must accept, so escaping and number
+// formatting live in exactly one place.
+//
+// Usage is push-style and unvalidated by design — the writer trusts the
+// caller to emit a well-formed sequence (object/array nesting, one value
+// per key). It handles the two things callers get wrong by hand: string
+// escaping and comma placement. Doubles round-trip (max_digits10) and
+// non-finite values degrade to null, which strict JSON requires.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+
+namespace amped::json {
+
+inline void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  Writer& begin_object() { open('{'); return *this; }
+  Writer& end_object() { close('}'); return *this; }
+  Writer& begin_array() { open('['); return *this; }
+  Writer& end_array() { close(']'); return *this; }
+
+  // Key of the next value inside an object.
+  Writer& key(std::string_view k) {
+    comma();
+    write_escaped(out_, k);
+    out_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  Writer& value(std::string_view v) { pre(); write_escaped(out_, v); return *this; }
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v) { pre(); out_ << (v ? "true" : "false"); return *this; }
+  Writer& value(double v) {
+    pre();
+    if (!std::isfinite(v)) {
+      out_ << "null";  // strict JSON has no NaN/Inf literals
+    } else {
+      const auto saved = out_.precision(
+          std::numeric_limits<double>::max_digits10);
+      out_ << v;
+      out_.precision(saved);
+    }
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Writer& value(T v) {
+    pre();
+    out_ << v;
+    return *this;
+  }
+
+  // Pre-serialised JSON spliced in verbatim as one value — how the
+  // --report-json report embeds the metrics snapshot (itself produced by
+  // this writer). The caller guarantees `v` is a well-formed document.
+  Writer& raw(std::string_view v) {
+    pre();
+    out_ << v;
+    return *this;
+  }
+
+  // key + value in one call, for the common scalar-member case.
+  template <typename T>
+  Writer& member(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void comma() {
+    if (need_comma_) out_ << ',';
+    need_comma_ = false;
+  }
+  // A value directly inside an array (or the document root) separates
+  // itself; a value following key() must not emit another comma.
+  void pre() {
+    if (!pending_value_) comma();
+    pending_value_ = false;
+    need_comma_ = true;
+  }
+  void open(char c) {
+    pre();
+    out_ << c;
+    need_comma_ = false;
+  }
+  void close(char c) {
+    out_ << c;
+    need_comma_ = true;
+    pending_value_ = false;
+  }
+
+  std::ostream& out_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+}  // namespace amped::json

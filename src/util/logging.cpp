@@ -2,11 +2,33 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace amped {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// Initial level: AMPED_LOG_LEVEL env var when set and recognised
+// (error/warn/info/debug, case-sensitive lowercase), else warn. Read once
+// at first use so every module — tests, benches, examples — honors it
+// without plumbing.
+int initial_level() {
+  const char* env = std::getenv("AMPED_LOG_LEVEL");
+  if (env != nullptr) {
+    if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+    if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+    if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+    if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+    std::fprintf(stderr,
+                 "[amped WARN ] AMPED_LOG_LEVEL='%s' not recognised "
+                 "(want error|warn|info|debug); using warn\n",
+                 env);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{initial_level()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {

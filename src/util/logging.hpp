@@ -1,5 +1,7 @@
 // Leveled logging to stderr. Quiet by default in tests/benches; examples
-// raise the level for progress reporting. Not thread-buffered: each call
+// raise the level for progress reporting. The starting level comes from
+// the AMPED_LOG_LEVEL env var (error|warn|info|debug) when set, else
+// warn; set_log_level() overrides either. Not thread-buffered: each call
 // emits one line with a single stream operation, which is enough for the
 // coarse-grained logging this project does.
 #pragma once

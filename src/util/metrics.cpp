@@ -1,0 +1,213 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace amped::metrics {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+
+std::size_t shard_index() {
+  // One hash per thread, computed once: the pool's workers spread across
+  // shards, and any thread always lands on the same slot.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+}  // namespace detail
+
+std::uint64_t Gauge::encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::decode(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+void Histogram::record_seconds(double seconds) {
+  if (!enabled()) return;
+  if (!(seconds >= 0.0)) seconds = 0.0;  // clamp NaN/negative clock skew
+  const double ns_f = seconds * 1e9;
+  const auto ns = ns_f >= 1.8e19 ? UINT64_MAX
+                                 : static_cast<std::uint64_t>(ns_f);
+  // Bucket b covers (2^(b-1), 2^b] ns; 0 ns lands in bucket 0.
+  const std::size_t b = ns == 0 ? 0 : static_cast<std::size_t>(
+                                          64 - std::countl_zero(ns));
+  buckets_[std::min(b, kBuckets - 1)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (cur < ns && !max_ns_.compare_exchange_weak(
+                         cur, ns, std::memory_order_relaxed)) {
+  }
+  count_shards_[detail::shard_index()].v.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : count_shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::bucket_upper_seconds(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b)) * 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Heap-owned so handles stay stable across registration; the metric
+  // classes hold atomics and cannot move.
+  std::deque<std::unique_ptr<Counter>> counters;
+  std::deque<std::unique_ptr<Gauge>> gauges;
+  std::deque<std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, Counter*, std::less<>> counter_by_name;
+  std::map<std::string, Gauge*, std::less<>> gauge_by_name;
+  std::map<std::string, Histogram*, std::less<>> histogram_by_name;
+
+  void check_unique(std::string_view name, const void* except) const {
+    auto taken = [&](const auto& map) {
+      auto it = map.find(name);
+      return it != map.end() &&
+             static_cast<const void*>(it->second) != except;
+    };
+    if (taken(counter_by_name) || taken(gauge_by_name) ||
+        taken(histogram_by_name)) {
+      throw std::invalid_argument(
+          "metrics: '" + std::string(name) +
+          "' is already registered as a different metric type");
+    }
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked on purpose: metric handles are resolved into function-local
+  // statics all over the codebase and may be touched by pool threads
+  // during process teardown.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  if (auto it = impl_->counter_by_name.find(name);
+      it != impl_->counter_by_name.end()) {
+    return *it->second;
+  }
+  impl_->check_unique(name, nullptr);
+  auto& c = *impl_->counters.emplace_back(
+      std::unique_ptr<Counter>(new Counter(std::string(name))));
+  impl_->counter_by_name.emplace(c.name(), &c);
+  return c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  if (auto it = impl_->gauge_by_name.find(name);
+      it != impl_->gauge_by_name.end()) {
+    return *it->second;
+  }
+  impl_->check_unique(name, nullptr);
+  auto& g = *impl_->gauges.emplace_back(
+      std::unique_ptr<Gauge>(new Gauge(std::string(name))));
+  impl_->gauge_by_name.emplace(g.name(), &g);
+  return g;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(impl_->mutex);
+  if (auto it = impl_->histogram_by_name.find(name);
+      it != impl_->histogram_by_name.end()) {
+    return *it->second;
+  }
+  impl_->check_unique(name, nullptr);
+  auto& h = *impl_->histograms.emplace_back(
+      std::unique_ptr<Histogram>(new Histogram(std::string(name))));
+  impl_->histogram_by_name.emplace(h.name(), &h);
+  return h;
+}
+
+void Registry::snapshot_json(std::ostream& out) const {
+  // The lock protects the maps (concurrent registration), not the
+  // values: those are atomics read relaxed, so a snapshot taken while
+  // writers hammer sees some prefix of their updates — never torn state.
+  std::lock_guard lock(impl_->mutex);
+  json::Writer w(out);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : impl_->counter_by_name) {
+    w.member(name, c->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : impl_->gauge_by_name) {
+    w.member(name, g->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : impl_->histogram_by_name) {
+    w.key(name).begin_object();
+    w.member("count", h->count());
+    w.member("sum_seconds", h->sum_seconds());
+    w.member("max_seconds", h->max_seconds());
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;
+      w.begin_object();
+      w.member("le_seconds", Histogram::bucket_upper_seconds(b));
+      w.member("count", n);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::snapshot_json() const {
+  std::ostringstream out;
+  snapshot_json(out);
+  return out.str();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(impl_->mutex);
+  for (auto& c : impl_->counters) {
+    for (auto& s : c->shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& g : impl_->gauges) {
+    g->bits_.store(Gauge::encode(0.0), std::memory_order_relaxed);
+  }
+  for (auto& h : impl_->histograms) {
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+    h->sum_ns_.store(0, std::memory_order_relaxed);
+    h->max_ns_.store(0, std::memory_order_relaxed);
+    for (auto& s : h->count_shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace amped::metrics

@@ -1,0 +1,209 @@
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// latency histograms for every layer of the stack (ingest chunk times,
+// spill/stream recovery counts, scheduler dispatch decisions, ALS
+// iteration latencies).
+//
+// Design constraints, in order:
+//  1. Hot paths pay one relaxed atomic increment. Counters are sharded
+//     across cache lines (a thread picks its shard once from its id) so
+//     the pool hammering one counter never bounces a single line.
+//     Reads (value(), snapshots) sum the shards — monotonic, possibly a
+//     few increments behind concurrent writers, never torn.
+//  2. Registration is rare and locked; the returned handle is a stable
+//     reference for the life of the process (std::deque storage), so
+//     instrumented code resolves its metric once into a static.
+//  3. Snapshots are safe at any time from any thread and serialise to a
+//     stable JSON schema (util/json.hpp) that the --report-json run
+//     report and the future serving daemon embed verbatim:
+//       {"counters": {name: u64, ...},
+//        "gauges": {name: f64, ...},
+//        "histograms": {name: {"count": u64, "sum_seconds": f64,
+//                              "max_seconds": f64,
+//                              "buckets": [{"le_seconds": f64,
+//                                           "count": u64}, ...]}, ...}}
+//     (bucket list only carries non-empty buckets; keys are sorted).
+//
+// The registry can be disabled (set_enabled(false)): counters, gauges,
+// and histograms keep accepting calls but drop them after one relaxed
+// flag load — the knob the metrics-overhead benchmark series flips to
+// price the instrumentation itself (bench_host_throughput metrics/*).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "util/timer.hpp"
+
+namespace amped::metrics {
+
+// All metric updates drop early when false. Relaxed: a toggle is not a
+// synchronisation point, it just stops the accounting.
+bool enabled();
+void set_enabled(bool on);
+
+namespace detail {
+inline constexpr std::size_t kShards = 8;
+inline constexpr std::size_t kCacheLine = 64;
+
+struct alignas(kCacheLine) ShardedSlot {
+  std::atomic<std::uint64_t> v{0};
+};
+
+// Stable small shard index for the calling thread.
+std::size_t shard_index();
+}  // namespace detail
+
+// Monotonic event count. inc() is wait-free: one relaxed fetch_add on the
+// caller's shard.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  detail::ShardedSlot shards_[detail::kShards];
+};
+
+// Last-write-wins instantaneous value (bytes in use, queue depth).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    bits_.store(encode(v), std::memory_order_relaxed);
+  }
+  // Monotonic ratchet: keeps the maximum of the current and new value.
+  // Not atomic across racing set_max callers of *smaller* values — fine
+  // for high-water marks, which only ever grow.
+  void set_max(double v) {
+    if (!enabled()) return;
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (decode(cur) < v &&
+           !bits_.compare_exchange_weak(cur, encode(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::string name_;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+// Log-bucketed latency histogram over seconds. Bucket b counts samples in
+// (2^(b-1), 2^b] nanoseconds — 64 power-of-two buckets span sub-ns to
+// ~584 years, so there is no overflow bucket to saturate. record() is two
+// relaxed increments (bucket + count shard) plus a relaxed add to the
+// nanosecond sum and a max ratchet.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record_seconds(double seconds);
+
+  std::uint64_t count() const;
+  double sum_seconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  double max_seconds() const {
+    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  // Upper bound of bucket b in seconds (2^b ns).
+  static double bucket_upper_seconds(std::size_t b);
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+  detail::ShardedSlot count_shards_[detail::kShards];
+};
+
+class Registry {
+ public:
+  // The process-wide registry every AMPED module reports into.
+  static Registry& global();
+
+  // Find-or-create by name. The returned reference is valid for the
+  // registry's lifetime; a name resolves to the same object every time
+  // (calling counter() on a name registered as a gauge throws).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Serialises the schema documented above. Sorted keys, strict JSON.
+  void snapshot_json(std::ostream& out) const;
+  std::string snapshot_json() const;
+
+  // Zeroes every registered metric (tests and the per-job reset the
+  // serving daemon will want). Registration survives; handles stay valid.
+  void reset();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Shorthands for the common "resolve once, update forever" pattern.
+inline Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::global().gauge(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::global().histogram(name);
+}
+
+// RAII latency sample: feeds the elapsed WallTimer seconds between
+// construction and destruction into a histogram. `cancel()` drops the
+// sample (error paths that should not pollute the latency distribution).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& h) : hist_(&h) {}
+  ~ScopedLatency() {
+    if (hist_ != nullptr) hist_->record_seconds(timer_.seconds());
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  void cancel() { hist_ = nullptr; }
+
+ private:
+  Histogram* hist_;
+  WallTimer timer_;
+};
+
+}  // namespace amped::metrics
