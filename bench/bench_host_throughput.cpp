@@ -103,10 +103,53 @@ void bm_ec_sorted(benchmark::State& state, EcWorkingSet ws) {
 }
 BENCHMARK_CAPTURE(bm_ec_sorted, l2, EcWorkingSet::kCacheResident)
     ->Name("ec/sorted")->Arg(8)->Arg(16)->Arg(32)->Arg(64)
-    ->Arg(100)  // generic-rank fallback kernel
+    // Off-menu ranks: tiled dispatch (greedy 64s + one multiple-of-4
+    // tile + <=3 remainder). 20/48/100/200 track the rank-cliff repair
+    // in the trajectory JSON alongside the single-tile menu ranks.
+    ->Arg(20)->Arg(48)->Arg(100)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(bm_ec_sorted, dram, EcWorkingSet::kDramBound)
     ->Name("ec/sorted_dram")->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Unsorted off-menu series: same tiled passes plus the exact per-index
+// multiplicity tally unsorted blocks pay for their stats.
+void bm_ec_unsorted(benchmark::State& state) {
+  const auto& t = unsorted_tensor();
+  const std::size_t rank = static_cast<std::size_t>(state.range(0));
+  Rng rng(7 + rank);
+  const FactorSet f(t.dims(), rank, rng);
+  DenseMatrix out(t.dim(0), rank);
+  for (auto _ : state) {
+    auto stats = run_ec_block(t, 0, t.nnz(), 0, f, out,
+                              BlockOrder::kUnsorted);
+    benchmark::DoNotOptimize(stats.max_multiplicity);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.nnz()));
+}
+BENCHMARK(bm_ec_unsorted)->Name("ec/unsorted")->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// The retained single-pass runtime-rank kernel (the pre-tiling fallback
+// every off-menu rank used to hit). ec/sorted/100 vs ec/generic/100 is
+// the rank-cliff repair measured on the same machine in the same run —
+// the ratio CI gates on, because absolute nnz/s is runner hardware.
+void bm_ec_generic(benchmark::State& state, EcWorkingSet ws) {
+  const auto& t = sorted_tensor(ws);
+  const std::size_t rank = static_cast<std::size_t>(state.range(0));
+  const auto& f = factors(ws, rank);
+  DenseMatrix out(t.dim(0), rank);
+  for (auto _ : state) {
+    auto stats = run_ec_block_generic(t, 0, t.nnz(), 0, f, out,
+                                      BlockOrder::kOutputSorted);
+    benchmark::DoNotOptimize(stats.max_run);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.nnz()));
+}
+BENCHMARK_CAPTURE(bm_ec_generic, l2, EcWorkingSet::kCacheResident)
+    ->Name("ec/generic")->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 // Pre-PR EC kernel, verbatim: per-element span gathers, per-element

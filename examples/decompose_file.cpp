@@ -81,6 +81,7 @@
 #include "tensor/tns_io.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/metrics.hpp"
 
 namespace {
@@ -380,7 +381,23 @@ int main(int argc, char** argv) {
   CpdOptions opt;
   apply_common_flags(args, &opt.mttkrp);
   const int gpus = static_cast<int>(args.get_int("gpus", 4));
-  const auto rank = static_cast<std::size_t>(args.get_int("rank", 16));
+  const std::int64_t rank_arg = args.get_int("rank", 16);
+  if (rank_arg <= 0) {
+    AMPED_LOG_ERROR << "--rank must be >= 1 (got " << rank_arg << ")";
+    std::fprintf(stderr, "error: --rank must be >= 1 (got %lld)\n",
+                 static_cast<long long>(rank_arg));
+    return 1;
+  }
+  // Tiled dispatch serves any rank, but factor matrices and CPD gram
+  // products grow linearly/quadratically with it; past this point the
+  // run is almost certainly a typo rather than a real decomposition.
+  constexpr std::int64_t kSoftRankCap = 1024;
+  if (rank_arg > kSoftRankCap) {
+    AMPED_LOG_WARN << "--rank " << rank_arg << " exceeds the soft cap of "
+                   << kSoftRankCap
+                   << "; proceeding, but expect large memory use";
+  }
+  const auto rank = static_cast<std::size_t>(rank_arg);
   const auto iters = static_cast<std::size_t>(args.get_int("iters", 15));
   const std::string output = args.get("output", "model.ampfac");
   const bool host_backend =

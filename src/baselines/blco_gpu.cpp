@@ -1,6 +1,5 @@
 #include "baselines/blco_gpu.hpp"
 
-#include <array>
 #include <vector>
 
 #include "core/ec_kernel.hpp"
@@ -45,7 +44,7 @@ BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
   const auto agg0 = platform.aggregate_timeline();
 
   gpu.alloc(factors.total_bytes());
-  std::array<value_t, 256> scratch{};
+  std::vector<value_t> scratch(rank);
 
   // One sequential lane on GPU 0: per mode, each BLCO block streams
   // through a pinned bounce buffer (two copies per byte on the single
@@ -81,8 +80,13 @@ BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
       kernel.gpu = 0;
       kernel.free_bytes = payload;
       kernel.deps = {plan.tasks.size() - 1};
+      // BLCO blocks keep their linearised (unsorted) element order; the
+      // shape binds order/modes/rank for the stats accumulator in one
+      // place so pricing cannot disagree with the arithmetic.
+      const KernelShape shape =
+          KernelShape::of(modes, rank, BlockOrder::kUnsorted);
       kernel.kernel = [&scratch, &blco, &factors, blk = &block, profile,
-                       out = &outs[d], d, modes, rank,
+                       out = &outs[d], d, modes, rank, shape,
                        width = options.block_width](
                           const exec::ExecContext& ctx) -> double {
         const auto& cost = ctx.platform.cost_model(ctx.gpu);
@@ -93,7 +97,7 @@ BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
             width,
             (blk->nnz() + sm_count - 1) / static_cast<nnz_t>(sm_count));
         std::vector<double> block_seconds;
-        RunStatsAccumulator acc;
+        RunStatsAccumulator acc(shape);
         nnz_t in_segment = 0;
         blco.visit_block(*blk, [&](std::span<const index_t> coords,
                                    value_t v) {
@@ -109,14 +113,14 @@ BaselineResult run_blco_gpu(sim::Platform& platform, const CooTensor& t,
           acc.feed(coords[d]);
           if (++in_segment == seg) {
             block_seconds.push_back(cost.ec_block_seconds(
-                acc.finish(modes, rank, static_cast<std::size_t>(width)),
+                acc.finish(static_cast<std::size_t>(width)),
                 profile));
             in_segment = 0;
           }
         });
         if (in_segment > 0) {
           block_seconds.push_back(cost.ec_block_seconds(
-              acc.finish(modes, rank, static_cast<std::size_t>(width)),
+              acc.finish(static_cast<std::size_t>(width)),
               profile));
         }
         return ctx.platform.kernel_launch_seconds() +

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/ec_kernel.hpp"
+#include "core/kernel_cache.hpp"
 #include "exec/plan.hpp"
 #include "sim/executor.hpp"
 
@@ -55,6 +56,11 @@ BaselineResult run_equal_nnz(sim::Platform& platform, const CooTensor& t,
     profile.output_write_efficiency = 0.5;
     profile.atomic_scale = 0.0;
 
+    // Chunks keep the original (unsorted) element order; one tile program
+    // serves every chunk of this mode, resolved at plan-build time.
+    const TileProgram* program = &KernelCache::global().find_or_create(
+        KernelShape::of(modes, rank, BlockOrder::kUnsorted));
+
     std::uint64_t partial_bytes_total = 0;
     for (int g = 0; g < m; ++g) {
       const auto [lo, hi] = chunks[static_cast<std::size_t>(g)];
@@ -70,8 +76,8 @@ BaselineResult run_equal_nnz(sim::Platform& platform, const CooTensor& t,
       kernel.kind = exec::TaskKind::kKernel;
       kernel.gpu = g;
       kernel.deps = {plan.tasks.size() - 1};
-      kernel.kernel = [&t, &factors, profile, out = &outs[d], d, lo = lo,
-                       hi = hi, width = options.block_width](
+      kernel.kernel = [&t, &factors, profile, program, out = &outs[d], d,
+                       lo = lo, hi = hi, width = options.block_width](
                           const exec::ExecContext& ctx) -> double {
         const auto& cost = ctx.platform.cost_model(ctx.gpu);
         const int sm_count = ctx.platform.gpu(ctx.gpu).spec().sm_count;
@@ -81,7 +87,7 @@ BaselineResult run_equal_nnz(sim::Platform& platform, const CooTensor& t,
         std::vector<double> block_seconds;
         for (nnz_t b = lo; b < hi; b += seg) {
           const nnz_t e = std::min<nnz_t>(hi, b + seg);
-          auto stats = run_ec_block(t, b, e, d, factors, *out);
+          auto stats = run_ec_block(*program, t, b, e, d, factors, *out);
           // Unsorted chunk: treat every element as its own run (the kernel
           // writes one partial per element regardless of adjacency).
           stats.output_runs = stats.nnz;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/ec_kernel.hpp"
+#include "core/kernel_cache.hpp"
 #include "exec/plan.hpp"
 #include "formats/memory_model.hpp"
 #include "sim/executor.hpp"
@@ -64,8 +65,12 @@ BaselineResult run_flycoo_gpu(sim::Platform& platform, const CooTensor& t,
     kernel.kind = exec::TaskKind::kKernel;
     kernel.gpu = 0;
     kernel.deps = {plan.tasks.size() - 1};
+    // One kernel shape for every segment: resolve the tile program at
+    // plan-build time, not per segment (cache references are stable).
+    const TileProgram* program = &KernelCache::global().find_or_create(
+        KernelShape::of(modes, rank, BlockOrder::kOutputSorted));
     kernel.kernel = [sorted, &factors, &workload, out = &outs[d], d, modes,
-                     rank, elem_bytes, nnz = t.nnz(),
+                     rank, elem_bytes, nnz = t.nnz(), program,
                      width = options.block_width](
                         const exec::ExecContext& ctx) -> double {
       const auto& cost = ctx.platform.cost_model(ctx.gpu);
@@ -84,8 +89,8 @@ BaselineResult run_flycoo_gpu(sim::Platform& platform, const CooTensor& t,
       std::vector<double> block_seconds;
       for (nnz_t lo = 0; lo < nnz; lo += seg) {
         const nnz_t hi = std::min<nnz_t>(nnz, lo + seg);
-        auto stats = run_ec_block(*sorted, lo, hi, d, factors, *out,
-                                  BlockOrder::kOutputSorted);
+        auto stats = run_ec_block(*program, *sorted, lo, hi, d, factors,
+                                  *out);
         stats.block_width = static_cast<std::size_t>(width);
         block_seconds.push_back(cost.ec_block_seconds(stats, profile));
       }

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "core/kernel_cache.hpp"
 
 namespace amped {
 
@@ -14,47 +18,33 @@ namespace amped {
 
 namespace {
 
-// Largest rank the register-accumulation buffers support (matches the
-// historical scratch-array bound).
-constexpr std::size_t kMaxRank = 256;
+// Scratch rows this long live on the stack in the generic reference
+// kernel; longer ranks fall back to heap buffers. The tiled dispatch path
+// has no rank ceiling at all — its buffers are sized by tile width.
+constexpr std::size_t kMaxStackRank = 256;
 
-// Elements looked ahead for factor-row prefetches. The gathers are the
-// kernel's only irregular accesses; fetching them a few elements early
-// hides most of the L2/L3 latency they would otherwise serialise on.
+// Elements looked ahead for factor-row prefetches (matches the tile
+// kernels in core/kernel_cache.cpp).
 constexpr nnz_t kPrefetchDistance = 8;
 
-// Hoisted per-block views: one index pointer and one factor-data pointer
-// per input mode, so the element loop performs no span construction, no
-// mode test, and no virtual-width indexing.
-struct InputMode {
-  const index_t* idx;   // coordinate array of this mode
-  const value_t* fac;   // factor matrix data, row-major, `rank` wide
-};
-
-// Arithmetic + run-structure core. kRankC is the compile-time rank (0 =
-// runtime rank): with the rank a constant the hadamard/accumulate loops
-// fully unroll and vectorise over the __restrict pointers. Elements of a
-// same-output-index run accumulate into `acc` registers and flush to the
-// output row once per run; stats gather the run structure on the way
-// (multiplicity is filled in by the caller for unsorted blocks).
-template <std::size_t kRankC>
-sim::EcBlockStats ec_block_kernel(const index_t* __restrict out_idx,
+// Single-pass arithmetic + run-structure core with runtime rank, writing
+// through caller-provided scratch rows. This is the pre-tiling
+// implementation kept as the bit-identity reference: per column c the
+// sequence prod = v * row0[c], *= row1[c], *= higher rows in mode order,
+// accumulated in element order with one output-row flush per run, is what
+// every tile pass reproduces for its column slice.
+sim::EcBlockStats generic_ec_pass(const index_t* __restrict out_idx,
                                   const value_t* __restrict vals,
-                                  const InputMode* __restrict inputs,
-                                  std::size_t num_inputs,
-                                  std::size_t runtime_rank, nnz_t begin,
-                                  nnz_t end, value_t* __restrict out_data) {
-  const std::size_t rank = kRankC ? kRankC : runtime_rank;
+                                  const EcInputMode* __restrict inputs,
+                                  std::size_t num_inputs, std::size_t rank,
+                                  nnz_t begin, nnz_t end,
+                                  value_t* __restrict out_data,
+                                  value_t* __restrict acc,
+                                  value_t* __restrict prod) {
   sim::EcBlockStats stats;
   stats.nnz = end - begin;
   stats.rank = rank;
 
-  value_t acc[kRankC ? kRankC : kMaxRank];
-  value_t prod[kRankC ? kRankC : kMaxRank];
-
-  // The first two input modes (all of a 3-mode tensor) get dedicated
-  // __restrict locals so the element loop runs without indirection through
-  // the mode table; rarer higher modes take the generic tail loop.
   const index_t* __restrict idx0 = num_inputs > 0 ? inputs[0].idx : nullptr;
   const value_t* __restrict fac0 = num_inputs > 0 ? inputs[0].fac : nullptr;
   const index_t* __restrict idx1 = num_inputs > 1 ? inputs[1].idx : nullptr;
@@ -66,30 +56,20 @@ sim::EcBlockStats ec_block_kernel(const index_t* __restrict out_idx,
   for (std::size_t r = 0; r < rank; ++r) acc[r] = value_t{0};
 
   for (nnz_t n = begin; n < end; ++n) {
-    // Factor-row gathers are the only irregular loads; at rank >= 16 the
-    // rows span multiple cache lines and routinely miss L2, so start them
-    // early. Narrow ranks stay cache-resident and skip the overhead (the
-    // gate is compile-time for the specialised kernels).
-    if constexpr (kRankC == 0 || kRankC >= 16) {
-      if ((kRankC != 0 || rank >= 16) && n + kPrefetchDistance < end) {
-        if (idx0 != nullptr) {
-          const value_t* next =
-              fac0 + static_cast<std::size_t>(idx0[n + kPrefetchDistance]) *
-                         rank;
-          AMPED_PREFETCH(next);
-          for (std::size_t b = 16; b < rank; b += 16) {
-            AMPED_PREFETCH(next + b);
-          }
-        }
-        if (idx1 != nullptr) {
-          const value_t* next =
-              fac1 + static_cast<std::size_t>(idx1[n + kPrefetchDistance]) *
-                         rank;
-          AMPED_PREFETCH(next);
-          for (std::size_t b = 16; b < rank; b += 16) {
-            AMPED_PREFETCH(next + b);
-          }
-        }
+    if (rank >= 16 && n + kPrefetchDistance < end) {
+      if (idx0 != nullptr) {
+        const value_t* next =
+            fac0 +
+            static_cast<std::size_t>(idx0[n + kPrefetchDistance]) * rank;
+        AMPED_PREFETCH(next);
+        for (std::size_t b = 16; b < rank; b += 16) AMPED_PREFETCH(next + b);
+      }
+      if (idx1 != nullptr) {
+        const value_t* next =
+            fac1 +
+            static_cast<std::size_t>(idx1[n + kPrefetchDistance]) * rank;
+        AMPED_PREFETCH(next);
+        for (std::size_t b = 16; b < rank; b += 16) AMPED_PREFETCH(next + b);
       }
     }
 
@@ -134,62 +114,44 @@ sim::EcBlockStats ec_block_kernel(const index_t* __restrict out_idx,
   return stats;
 }
 
-}  // namespace
+// Hoisted per-block pointer views shared by both entry points.
+struct BlockView {
+  std::array<EcInputMode, kMaxModes> inputs{};
+  std::size_t num_inputs = 0;
+  const index_t* out_idx = nullptr;
+  const value_t* vals = nullptr;
+  value_t* out_data = nullptr;
+};
 
-sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
-                               std::size_t output_mode,
-                               const FactorSet& factors, DenseMatrix& out,
-                               BlockOrder order) {
+BlockView make_block_view(const CooTensor& t, std::size_t output_mode,
+                          const FactorSet& factors, DenseMatrix& out) {
+  BlockView view;
+  for (std::size_t w = 0; w < t.num_modes(); ++w) {
+    if (w == output_mode) continue;
+    view.inputs[view.num_inputs++] = {t.indices(w).data(),
+                                      factors.factor(w).data().data()};
+  }
+  view.out_idx = t.indices(output_mode).data();
+  view.vals = t.values().data();
+  view.out_data = out.data().data();
+  return view;
+}
+
+void validate_block([[maybe_unused]] const CooTensor& t,
+                    [[maybe_unused]] nnz_t begin, [[maybe_unused]] nnz_t end,
+                    [[maybe_unused]] std::size_t output_mode,
+                    const FactorSet& factors) {
   assert(end <= t.nnz() && begin <= end);
   assert(output_mode < t.num_modes());
-  const std::size_t modes = t.num_modes();
-  const std::size_t rank = factors.rank();
-  assert(rank <= kMaxRank);
-
-  if (begin == end) {
-    sim::EcBlockStats stats;
-    stats.modes = modes;
-    stats.rank = rank;
-    return stats;
+  if (factors.rank() == 0) {
+    throw std::invalid_argument("run_ec_block: rank must be >= 1");
   }
+}
 
-  std::array<InputMode, kMaxModes> inputs{};
-  std::size_t num_inputs = 0;
-  for (std::size_t w = 0; w < modes; ++w) {
-    if (w == output_mode) continue;
-    inputs[num_inputs++] = {t.indices(w).data(),
-                            factors.factor(w).data().data()};
-  }
-
-  const index_t* out_idx = t.indices(output_mode).data();
-  const value_t* vals = t.values().data();
-  value_t* out_data = out.data().data();
-
-  sim::EcBlockStats stats;
-  switch (rank) {
-    case 8:
-      stats = ec_block_kernel<8>(out_idx, vals, inputs.data(), num_inputs,
-                                 rank, begin, end, out_data);
-      break;
-    case 16:
-      stats = ec_block_kernel<16>(out_idx, vals, inputs.data(), num_inputs,
-                                  rank, begin, end, out_data);
-      break;
-    case 32:
-      stats = ec_block_kernel<32>(out_idx, vals, inputs.data(), num_inputs,
-                                  rank, begin, end, out_data);
-      break;
-    case 64:
-      stats = ec_block_kernel<64>(out_idx, vals, inputs.data(), num_inputs,
-                                  rank, begin, end, out_data);
-      break;
-    default:
-      stats = ec_block_kernel<0>(out_idx, vals, inputs.data(), num_inputs,
-                                 rank, begin, end, out_data);
-      break;
-  }
-  stats.modes = modes;
-
+// max_multiplicity for a finished block: the arithmetic kernels gather the
+// run structure; the order decides whether a tally is needed.
+void finish_multiplicity(sim::EcBlockStats& stats, BlockOrder order,
+                         const index_t* out_idx, nnz_t begin, nnz_t end) {
   if (order == BlockOrder::kOutputSorted) {
     // Output-sorted block: every output index is one contiguous run, so
     // the highest per-index count *is* the longest run.
@@ -204,8 +166,110 @@ sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
     }
     stats.max_multiplicity = max_mult;
   }
+}
+
+sim::EcBlockStats empty_block_stats(std::size_t modes, std::size_t rank) {
+  sim::EcBlockStats stats;
+  stats.modes = modes;
+  stats.rank = rank;
   return stats;
 }
+
+}  // namespace
+
+KernelShape KernelShape::of(std::size_t num_modes, std::size_t rank,
+                            BlockOrder order) {
+  if (rank == 0) {
+    throw std::invalid_argument("KernelShape: rank must be >= 1");
+  }
+  KernelShape shape;
+  shape.rank = static_cast<std::uint32_t>(rank);
+  shape.modes = static_cast<std::uint8_t>(num_modes);
+  shape.index_width = sizeof(index_t);
+  shape.order = static_cast<std::uint8_t>(order);
+  return shape;
+}
+
+std::size_t KernelShape::hash() const {
+  // splitmix64 finaliser: the packed key's low bits (the rank) would
+  // otherwise collide whole shape families into one cache bucket.
+  std::uint64_t x = packed();
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
+                               std::size_t output_mode,
+                               const FactorSet& factors, DenseMatrix& out,
+                               BlockOrder order) {
+  validate_block(t, begin, end, output_mode, factors);
+  const auto shape = KernelShape::of(t.num_modes(), factors.rank(), order);
+  const TileProgram& program = KernelCache::global().find_or_create(shape);
+  return run_ec_block(program, t, begin, end, output_mode, factors, out);
+}
+
+sim::EcBlockStats run_ec_block(const TileProgram& program, const CooTensor& t,
+                               nnz_t begin, nnz_t end,
+                               std::size_t output_mode,
+                               const FactorSet& factors, DenseMatrix& out) {
+  validate_block(t, begin, end, output_mode, factors);
+  const std::size_t modes = t.num_modes();
+  const std::size_t rank = factors.rank();
+  assert(program.shape().rank == rank);
+  assert(program.shape() ==
+         KernelShape::of(modes, rank,
+                         static_cast<BlockOrder>(program.shape().order)));
+
+  if (begin == end) return empty_block_stats(modes, rank);
+
+  const BlockView view = make_block_view(t, output_mode, factors, out);
+  sim::EcBlockStats stats =
+      program.run(view.out_idx, view.vals, view.inputs.data(),
+                  view.num_inputs, begin, end, view.out_data);
+  stats.modes = modes;
+  finish_multiplicity(stats,
+                      static_cast<BlockOrder>(program.shape().order),
+                      view.out_idx, begin, end);
+  return stats;
+}
+
+sim::EcBlockStats run_ec_block_generic(const CooTensor& t, nnz_t begin,
+                                       nnz_t end, std::size_t output_mode,
+                                       const FactorSet& factors,
+                                       DenseMatrix& out, BlockOrder order) {
+  validate_block(t, begin, end, output_mode, factors);
+  const std::size_t modes = t.num_modes();
+  const std::size_t rank = factors.rank();
+  if (begin == end) return empty_block_stats(modes, rank);
+
+  const BlockView view = make_block_view(t, output_mode, factors, out);
+  sim::EcBlockStats stats;
+  if (rank <= kMaxStackRank) {
+    value_t acc[kMaxStackRank];
+    value_t prod[kMaxStackRank];
+    stats = generic_ec_pass(view.out_idx, view.vals, view.inputs.data(),
+                            view.num_inputs, rank, begin, end, view.out_data,
+                            acc, prod);
+  } else {
+    std::vector<value_t> acc(rank);
+    std::vector<value_t> prod(rank);
+    stats = generic_ec_pass(view.out_idx, view.vals, view.inputs.data(),
+                            view.num_inputs, rank, begin, end, view.out_data,
+                            acc.data(), prod.data());
+  }
+  stats.modes = modes;
+  finish_multiplicity(stats, order, view.out_idx, begin, end);
+  return stats;
+}
+
+RunStatsAccumulator::RunStatsAccumulator(const KernelShape& shape)
+    : order_(static_cast<BlockOrder>(shape.order)),
+      shape_modes_(shape.modes),
+      shape_rank_(shape.rank) {}
 
 void RunStatsAccumulator::feed(index_t output_index) {
   if (stats_.nnz == 0 || output_index != run_index_) {
@@ -236,6 +300,11 @@ sim::EcBlockStats RunStatsAccumulator::finish(std::size_t modes,
   sim::EcBlockStats out = stats_;
   reset();
   return out;
+}
+
+sim::EcBlockStats RunStatsAccumulator::finish(std::size_t block_width) {
+  assert(shape_rank_ > 0 && "finish(block_width) needs the shape ctor");
+  return finish(shape_modes_, shape_rank_, block_width);
 }
 
 void RunStatsAccumulator::reset() {

@@ -10,13 +10,19 @@
 // (same-output-row run structure) the simulator's atomic-contention model
 // consumes.
 //
-// The inner loops are specialised by rank (8/16/32/64 plus a generic
-// fallback) over __restrict pointers so the compiler vectorises the
-// hadamard/accumulate arithmetic, and same-output-index runs accumulate in
-// registers with one output-row update per run — the register-accumulation
-// the cost model already assumes for sorted layouts.
+// Arbitrary ranks are executed as a sequence of compile-time-specialised
+// column tiles (64/32/16/8 plus a <8 remainder) resolved once per distinct
+// KernelShape through core/kernel_cache and cached as a TileProgram, so
+// steady-state dispatch is one hash lookup. Each tile accumulates
+// same-output-index runs in registers with one output-row update per run —
+// the register-accumulation the cost model already assumes for sorted
+// layouts — and because every rank column accumulates independently over
+// the same nonzero order, the tiled execution is bit-identical to the
+// single-pass generic kernel (run_ec_block_generic, kept as the reference
+// the equivalence suite compares against).
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "sim/cost_model.hpp"
@@ -24,6 +30,8 @@
 #include "tensor/dense_matrix.hpp"
 
 namespace amped {
+
+class TileProgram;  // core/kernel_cache.hpp
 
 // Element ordering of a block, which decides how run statistics are
 // gathered. AMPED shards and FLYCOO's remapped copies are sorted by the
@@ -35,31 +43,106 @@ enum class BlockOrder {
   kOutputSorted,  // multiplicity == longest run; no tally
 };
 
+// The cache key of one specialised EC kernel: everything the tile program
+// is allowed to bind at build time. Two blocks with equal shapes run the
+// exact same code; a future JIT-compiled kernel slots in behind the same
+// key without widening it.
+struct KernelShape {
+  std::uint32_t rank = 0;
+  std::uint8_t modes = 0;  // tensor mode count (incl. the output mode)
+  // Coordinate width in bytes. index_t is 4 today; the field keeps the
+  // key (and any JIT behind it) honest if a 64-bit index build appears.
+  std::uint8_t index_width = sizeof(index_t);
+  std::uint8_t order = 0;  // BlockOrder, as its underlying value
+
+  // Mode-count bucket the arithmetic is specialised for: 2/3/4 get
+  // dedicated input unrolls, 0 is the runtime-mode-count fallback (1-mode
+  // and >=5-mode tensors). The cache keys on the bucket, not the raw
+  // count: every >=5-mode tensor shares one fallback program.
+  std::uint8_t mode_class() const {
+    return (modes >= 2 && modes <= 4) ? modes : std::uint8_t{0};
+  }
+
+  // Throws std::invalid_argument for rank 0 — a zero-width factor set has
+  // no meaningful kernel and previously died as stack corruption.
+  static KernelShape of(std::size_t num_modes, std::size_t rank,
+                        BlockOrder order);
+
+  std::uint64_t packed() const {
+    return static_cast<std::uint64_t>(rank) |
+           static_cast<std::uint64_t>(mode_class()) << 32 |
+           static_cast<std::uint64_t>(index_width) << 40 |
+           static_cast<std::uint64_t>(order) << 48;
+  }
+  std::size_t hash() const;
+  friend bool operator==(const KernelShape& a, const KernelShape& b) {
+    return a.packed() == b.packed();
+  }
+};
+
+// Hoisted per-block view of one input mode: one index pointer and one
+// factor-data pointer, so the element loops perform no span construction,
+// no mode test, and no virtual-width indexing.
+struct EcInputMode {
+  const index_t* idx;  // coordinate array of this mode
+  const value_t* fac;  // factor matrix data, row-major, `rank` wide
+};
+
 // Runs EC over elements [begin, end) of `t`, accumulating into `out`
-// (dim(output_mode) x R). Returns the block stats for the cost model.
+// (dim(output_mode) x R). Resolves the block's TileProgram through the
+// process-wide kernel cache (one hash lookup when the shape is warm) and
+// returns the block stats for the cost model. Throws std::invalid_argument
+// for rank 0; any rank >= 1 is supported via the tile decomposition.
 sim::EcBlockStats run_ec_block(const CooTensor& t, nnz_t begin, nnz_t end,
                                std::size_t output_mode,
                                const FactorSet& factors, DenseMatrix& out,
                                BlockOrder order = BlockOrder::kUnsorted);
+
+// Same, with the TileProgram already resolved — the steady-state form for
+// callers that run many blocks of one shape (the host backend's shard
+// kernels, the baselines' segment loops): resolve once at plan-lowering
+// time, skip even the cache lookup per block.
+sim::EcBlockStats run_ec_block(const TileProgram& program, const CooTensor& t,
+                               nnz_t begin, nnz_t end,
+                               std::size_t output_mode,
+                               const FactorSet& factors, DenseMatrix& out);
+
+// Single-pass reference kernel (the pre-tiling implementation, runtime
+// rank, no shape cache). The tile programs are asserted bit-identical to
+// this by the equivalence suite; it also serves ranks in tests without
+// touching the cache. Same argument validation as run_ec_block.
+sim::EcBlockStats run_ec_block_generic(const CooTensor& t, nnz_t begin,
+                                       nnz_t end, std::size_t output_mode,
+                                       const FactorSet& factors,
+                                       DenseMatrix& out,
+                                       BlockOrder order =
+                                           BlockOrder::kUnsorted);
 
 // Incremental collector of the same output-index run statistics for
 // callers that drive their own element loops (the baseline kernels over
 // BLCO blocks, HiCOO superblocks, ...). Feed output indices in stream
 // order, then finish() with the kernel geometry. Constructing with
 // kOutputSorted promises indices arrive grouped by value, collapsing the
-// multiplicity tally into the run tracker.
+// multiplicity tally into the run tracker. Constructing with a KernelShape
+// binds order, modes, and rank in one place so finish(block_width) cannot
+// disagree with the kernel that did the arithmetic.
 class RunStatsAccumulator {
  public:
   explicit RunStatsAccumulator(BlockOrder order = BlockOrder::kUnsorted)
       : order_(order) {}
+  explicit RunStatsAccumulator(const KernelShape& shape);
 
   void feed(index_t output_index);
   sim::EcBlockStats finish(std::size_t modes, std::size_t rank,
                            std::size_t block_width);
+  // Shape-bound variant; requires the KernelShape constructor.
+  sim::EcBlockStats finish(std::size_t block_width);
   void reset();
 
  private:
   BlockOrder order_;
+  std::size_t shape_modes_ = 0;  // 0: constructed without a shape
+  std::size_t shape_rank_ = 0;
   sim::EcBlockStats stats_;
   index_t run_index_ = 0;
   nnz_t run_len_ = 0;

@@ -1,0 +1,317 @@
+#include "core/kernel_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/metrics.hpp"
+
+namespace amped {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AMPED_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define AMPED_PREFETCH(addr) ((void)0)
+#endif
+
+namespace {
+
+// Elements looked ahead for factor-row prefetches. The gathers are the
+// kernel's only irregular accesses; fetching them a few elements early
+// hides most of the L2/L3 latency they would otherwise serialise on.
+constexpr nnz_t kPrefetchDistance = 8;
+
+// One column-tile pass of the EC kernel: columns [col, col+kW) of every
+// factor and output row, over elements [begin, end).
+//
+//  - kW is the compile-time tile width: the hadamard/accumulate loops
+//    fully unroll and vectorise over the __restrict pointers.
+//  - kInputsC is the compile-time input-mode count (1/2/3 for 2/3/4-mode
+//    tensors); 0 takes the runtime num_inputs (1-mode and >=5-mode).
+//  - kPacked binds stride == kW and col == 0: the single-tile form menu
+//    ranks take, where the row stride is a compile-time constant exactly
+//    like the pre-tiling full-width kernels.
+//
+// Elements of a same-output-index run accumulate into `acc` registers and
+// flush to the output row once per run. The per-column arithmetic —
+// prod = v * row0[c], then *= row1[c], *= row2[c], ... in mode order,
+// accumulated in element order — is exactly the generic kernel's sequence
+// for that column, so a pass is bit-identical to the matching column slice
+// of the single-pass kernel no matter how the rank is tiled.
+template <std::size_t kW, std::size_t kInputsC, bool kPacked>
+void ec_tile(const index_t* __restrict out_idx,
+             const value_t* __restrict vals,
+             const EcInputMode* __restrict inputs,
+             [[maybe_unused]] std::size_t num_inputs, std::size_t rank,
+             [[maybe_unused]] std::size_t col, nnz_t begin, nnz_t end,
+             value_t* __restrict out_data, sim::EcBlockStats* stats) {
+  const std::size_t stride = kPacked ? kW : rank;
+  const std::size_t col_off = kPacked ? 0 : col;
+
+  value_t acc[kW];
+  value_t prod[kW];
+
+  const bool has0 = kInputsC >= 1 || num_inputs > 0;
+  const bool has1 = kInputsC >= 2 || (kInputsC == 0 && num_inputs > 1);
+  const index_t* __restrict idx0 = has0 ? inputs[0].idx : nullptr;
+  const value_t* __restrict fac0 = has0 ? inputs[0].fac + col_off : nullptr;
+  const index_t* __restrict idx1 = has1 ? inputs[1].idx : nullptr;
+  const value_t* __restrict fac1 = has1 ? inputs[1].fac + col_off : nullptr;
+  const index_t* __restrict idx2 = kInputsC >= 3 ? inputs[2].idx : nullptr;
+  const value_t* __restrict fac2 =
+      kInputsC >= 3 ? inputs[2].fac + col_off : nullptr;
+
+  index_t run_index = out_idx[begin];
+  nnz_t run_len = 0;
+  nnz_t output_runs = 1;
+  nnz_t max_run = 0;
+  for (std::size_t r = 0; r < kW; ++r) acc[r] = value_t{0};
+
+  for (nnz_t n = begin; n < end; ++n) {
+    // Factor-row gathers are the only irregular loads; at tile width >= 16
+    // the slice spans multiple cache lines and routinely misses L2, so
+    // start the next element's rows early (compile-time gate: narrow tiles
+    // stay cache-resident and skip the overhead).
+    if constexpr (kW >= 16) {
+      if (n + kPrefetchDistance < end) {
+        if (idx0 != nullptr) {
+          const value_t* next =
+              fac0 +
+              static_cast<std::size_t>(idx0[n + kPrefetchDistance]) * stride;
+          for (std::size_t b = 0; b < kW; b += 16) AMPED_PREFETCH(next + b);
+        }
+        if (idx1 != nullptr) {
+          const value_t* next =
+              fac1 +
+              static_cast<std::size_t>(idx1[n + kPrefetchDistance]) * stride;
+          for (std::size_t b = 0; b < kW; b += 16) AMPED_PREFETCH(next + b);
+        }
+      }
+    }
+
+    const value_t v = vals[n];
+    if constexpr (kInputsC == 0) {
+      if (idx0 == nullptr) {
+        for (std::size_t r = 0; r < kW; ++r) prod[r] = v;
+      } else {
+        const value_t* __restrict row0 =
+            fac0 + static_cast<std::size_t>(idx0[n]) * stride;
+        for (std::size_t r = 0; r < kW; ++r) prod[r] = v * row0[r];
+        if (idx1 != nullptr) {
+          const value_t* __restrict row1 =
+              fac1 + static_cast<std::size_t>(idx1[n]) * stride;
+          for (std::size_t r = 0; r < kW; ++r) prod[r] *= row1[r];
+        }
+        for (std::size_t w = 2; w < num_inputs; ++w) {
+          const value_t* __restrict row =
+              inputs[w].fac + col_off +
+              static_cast<std::size_t>(inputs[w].idx[n]) * stride;
+          for (std::size_t r = 0; r < kW; ++r) prod[r] *= row[r];
+        }
+      }
+    } else {
+      const value_t* __restrict row0 =
+          fac0 + static_cast<std::size_t>(idx0[n]) * stride;
+      for (std::size_t r = 0; r < kW; ++r) prod[r] = v * row0[r];
+      if constexpr (kInputsC >= 2) {
+        const value_t* __restrict row1 =
+            fac1 + static_cast<std::size_t>(idx1[n]) * stride;
+        for (std::size_t r = 0; r < kW; ++r) prod[r] *= row1[r];
+      }
+      if constexpr (kInputsC >= 3) {
+        const value_t* __restrict row2 =
+            fac2 + static_cast<std::size_t>(idx2[n]) * stride;
+        for (std::size_t r = 0; r < kW; ++r) prod[r] *= row2[r];
+      }
+    }
+
+    const index_t i = out_idx[n];
+    if (i != run_index) {
+      value_t* __restrict out_row =
+          out_data + static_cast<std::size_t>(run_index) * stride + col_off;
+      for (std::size_t r = 0; r < kW; ++r) out_row[r] += acc[r];
+      for (std::size_t r = 0; r < kW; ++r) acc[r] = prod[r];
+      max_run = std::max(max_run, run_len);
+      ++output_runs;
+      run_index = i;
+      run_len = 1;
+    } else {
+      for (std::size_t r = 0; r < kW; ++r) acc[r] += prod[r];
+      ++run_len;
+    }
+  }
+  value_t* __restrict out_row =
+      out_data + static_cast<std::size_t>(run_index) * stride + col_off;
+  for (std::size_t r = 0; r < kW; ++r) out_row[r] += acc[r];
+  max_run = std::max(max_run, run_len);
+
+  // Run structure is a property of the element order, identical for every
+  // tile — one designated tile per program reports it.
+  if (stats != nullptr) {
+    stats->nnz = end - begin;
+    stats->output_runs = output_runs;
+    stats->max_run = max_run;
+  }
+}
+
+template <std::size_t kW, bool kPacked>
+EcTileFn pick_inputs(std::uint8_t mode_class) {
+  switch (mode_class) {
+    case 2:
+      return &ec_tile<kW, 1, kPacked>;
+    case 3:
+      return &ec_tile<kW, 2, kPacked>;
+    case 4:
+      return &ec_tile<kW, 3, kPacked>;
+    default:
+      return &ec_tile<kW, 0, kPacked>;
+  }
+}
+
+// The instantiated width set mirrors sim::ec_tile_widths: 64, every
+// multiple of 4 below it (so any 4..63 tail is one pass), and 1..3 for
+// the final columns. 5/6/7 stay instantiated for robustness against a
+// decomposition that emits them even though the current greedy does not.
+template <bool kPacked>
+EcTileFn pick_tile(std::uint32_t width, std::uint8_t mode_class) {
+  switch (width) {
+    case 64:
+      return pick_inputs<64, kPacked>(mode_class);
+    case 60:
+      return pick_inputs<60, kPacked>(mode_class);
+    case 56:
+      return pick_inputs<56, kPacked>(mode_class);
+    case 52:
+      return pick_inputs<52, kPacked>(mode_class);
+    case 48:
+      return pick_inputs<48, kPacked>(mode_class);
+    case 44:
+      return pick_inputs<44, kPacked>(mode_class);
+    case 40:
+      return pick_inputs<40, kPacked>(mode_class);
+    case 36:
+      return pick_inputs<36, kPacked>(mode_class);
+    case 32:
+      return pick_inputs<32, kPacked>(mode_class);
+    case 28:
+      return pick_inputs<28, kPacked>(mode_class);
+    case 24:
+      return pick_inputs<24, kPacked>(mode_class);
+    case 20:
+      return pick_inputs<20, kPacked>(mode_class);
+    case 16:
+      return pick_inputs<16, kPacked>(mode_class);
+    case 12:
+      return pick_inputs<12, kPacked>(mode_class);
+    case 8:
+      return pick_inputs<8, kPacked>(mode_class);
+    case 7:
+      return pick_inputs<7, kPacked>(mode_class);
+    case 6:
+      return pick_inputs<6, kPacked>(mode_class);
+    case 5:
+      return pick_inputs<5, kPacked>(mode_class);
+    case 4:
+      return pick_inputs<4, kPacked>(mode_class);
+    case 3:
+      return pick_inputs<3, kPacked>(mode_class);
+    case 2:
+      return pick_inputs<2, kPacked>(mode_class);
+    default:
+      return pick_inputs<1, kPacked>(mode_class);
+  }
+}
+
+}  // namespace
+
+sim::EcBlockStats TileProgram::run(const index_t* out_idx,
+                                   const value_t* vals,
+                                   const EcInputMode* inputs,
+                                   std::size_t num_inputs, nnz_t begin,
+                                   nnz_t end, value_t* out_data) const {
+  assert(begin < end);
+  sim::EcBlockStats stats;
+  bool first = true;
+  for (const EcTile& tile : tiles_) {
+    tile.fn(out_idx, vals, inputs, num_inputs, shape_.rank, tile.col, begin,
+            end, out_data, first ? &stats : nullptr);
+    first = false;
+  }
+  stats.rank = shape_.rank;
+  return stats;
+}
+
+TileProgram KernelCache::build_program(const KernelShape& shape) {
+  TileProgram program;
+  program.shape_ = shape;
+  const auto widths = sim::ec_tile_widths(shape.rank);
+  // A single tile covers the whole row: bind the stride as a compile-time
+  // constant too, which is byte-for-byte the pre-tiling full-width kernel.
+  const bool packed = widths.size() == 1;
+  std::uint32_t col = 0;
+  for (const std::size_t w : widths) {
+    EcTile tile;
+    tile.col = col;
+    tile.width = static_cast<std::uint32_t>(w);
+    tile.fn = packed ? pick_tile<true>(tile.width, shape.mode_class())
+                     : pick_tile<false>(tile.width, shape.mode_class());
+    program.tiles_.push_back(tile);
+    col += tile.width;
+  }
+  assert(col == shape.rank);
+  return program;
+}
+
+KernelCache& KernelCache::global() {
+  // Leaked on purpose (same discipline as the metrics registry): program
+  // references are resolved once per shard/plan and may be touched by
+  // pool threads during process teardown.
+  static KernelCache* instance = new KernelCache();
+  return *instance;
+}
+
+const TileProgram& KernelCache::find_or_create(const KernelShape& shape) {
+  static metrics::Counter& hits = metrics::counter("kernel_cache.hits");
+  static metrics::Counter& misses = metrics::counter("kernel_cache.misses");
+  static metrics::Counter& shapes = metrics::counter("kernel_cache.shapes");
+
+  const std::size_t b = shape.hash() & (kBuckets - 1);
+  for (const Node* n = buckets_[b].load(std::memory_order_acquire);
+       n != nullptr; n = n->next) {
+    if (n->program.shape() == shape) {
+      hits.inc();
+      return n->program;
+    }
+  }
+
+  std::lock_guard lock(create_mutex_);
+  // A racing creator may have published while we queued on the mutex.
+  for (const Node* n = buckets_[b].load(std::memory_order_acquire);
+       n != nullptr; n = n->next) {
+    if (n->program.shape() == shape) {
+      hits.inc();
+      return n->program;
+    }
+  }
+  Node* node = new Node();  // owned by the cache, never freed
+  node->program = build_program(shape);
+  node->next = buckets_[b].load(std::memory_order_relaxed);
+  misses.inc();
+  shapes.inc();
+  // Release publishes the fully-built program (and, transitively, the
+  // chain behind it) to lock-free readers.
+  buckets_[b].store(node, std::memory_order_release);
+  return node->program;
+}
+
+std::size_t KernelCache::size() const {
+  std::size_t count = 0;
+  for (const auto& bucket : buckets_) {
+    for (const Node* n = bucket.load(std::memory_order_acquire); n != nullptr;
+         n = n->next) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace amped

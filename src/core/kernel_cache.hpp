@@ -1,0 +1,110 @@
+// Per-shape EC kernel cache: runtime specialisation without runtime
+// codegen (ROADMAP item 4, first stage).
+//
+// The EC kernel is compile-time specialised for a menu of column widths
+// (64/32/16/8, plus fully-unrolled 1..8 remainders). An arbitrary rank is
+// decomposed greedily into those widths — sim::ec_tile_widths, shared with
+// the cost model so pricing and execution agree — and each width becomes
+// one *tile pass* over the block's nonzeros, reading and writing only its
+// column slice [col, col+width) of the factor and output rows. Because
+// every rank column accumulates independently over the same nonzero order,
+// the tile passes produce bit-identical results to the single-pass generic
+// kernel; each pass keeps the register accumulation of same-output-index
+// runs and the factor-row prefetch the full-width kernels already had, so
+// off-menu ranks stop paying the generic kernel's un-unrolled arithmetic
+// and oversized gather footprint.
+//
+// A TileProgram is the pre-bound pass sequence for one KernelShape
+// ({rank, mode class, index width, BlockOrder}). Programs are built once
+// per distinct shape and cached in a lock-free find-or-create table with
+// the same discipline as util/metrics: lookups walk an atomic bucket list
+// (one hash, acquire loads, no locks), creation is rare and mutex-guarded,
+// and nodes are never freed so a returned reference is stable for the
+// process lifetime — callers resolve their program once (per shard, per
+// plan, or into a static) and dispatch through it forever. The cache
+// counts kernel_cache.{hits,misses,shapes} into the metrics registry.
+//
+// The seam a JIT takes later: emit code for the exact shape, wrap it as a
+// single-tile program, and publish it under the same key — every caller
+// already dispatches through the cache and none of them names a tile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/ec_kernel.hpp"
+
+namespace amped {
+
+// One tile pass: columns [col, col+width) of every row, executed by a
+// compile-time-specialised function. `stats` is non-null for exactly one
+// tile of a program (the run structure is identical across tiles, so only
+// one gathers it).
+using EcTileFn = void (*)(const index_t* out_idx, const value_t* vals,
+                          const EcInputMode* inputs, std::size_t num_inputs,
+                          std::size_t rank, std::size_t col, nnz_t begin,
+                          nnz_t end, value_t* out_data,
+                          sim::EcBlockStats* stats);
+
+struct EcTile {
+  std::uint32_t col = 0;    // first column this pass covers
+  std::uint32_t width = 0;  // columns covered (the specialised width)
+  EcTileFn fn = nullptr;
+};
+
+// The pre-bound pass sequence for one kernel shape. Immutable after the
+// cache publishes it; safe to run from any number of threads at once.
+class TileProgram {
+ public:
+  const KernelShape& shape() const { return shape_; }
+  std::span<const EcTile> tiles() const { return tiles_; }
+
+  // Executes every pass over [begin, end) (begin < end) and returns the
+  // run stats (max_multiplicity left for the caller, which knows the
+  // block order). `inputs` are the non-output modes in mode order.
+  sim::EcBlockStats run(const index_t* out_idx, const value_t* vals,
+                        const EcInputMode* inputs, std::size_t num_inputs,
+                        nnz_t begin, nnz_t end, value_t* out_data) const;
+
+ private:
+  friend class KernelCache;
+  KernelShape shape_;
+  std::vector<EcTile> tiles_;
+};
+
+// Process-wide find-or-create table of TilePrograms keyed by KernelShape.
+class KernelCache {
+ public:
+  static KernelCache& global();
+
+  // Lock-free on the hit path (one hash + an acquire walk of one bucket);
+  // misses serialise on a mutex, rebuild-check, and publish. The returned
+  // reference lives for the process lifetime.
+  const TileProgram& find_or_create(const KernelShape& shape);
+
+  // Distinct shapes currently cached (sums the bucket chains; monotonic).
+  std::size_t size() const;
+
+  KernelCache(const KernelCache&) = delete;
+  KernelCache& operator=(const KernelCache&) = delete;
+
+ private:
+  KernelCache() = default;
+
+  static TileProgram build_program(const KernelShape& shape);
+
+  static constexpr std::size_t kBuckets = 64;
+
+  struct Node {
+    TileProgram program;
+    Node* next = nullptr;
+  };
+
+  std::atomic<Node*> buckets_[kBuckets] = {};
+  std::mutex create_mutex_;
+};
+
+}  // namespace amped

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ec_kernel.hpp"
+#include "core/kernel_cache.hpp"
 #include "sim/executor.hpp"
 
 namespace amped::exec {
@@ -35,6 +36,12 @@ KernelFn make_shard_kernel(const ModeLowerInput& in, const Shard* shard) {
   DenseMatrix* out = &in.out;
   const sim::KernelProfile profile = in.profile;
   const std::size_t num_modes = in.tensor.num_modes();
+  // The kernel shape is fixed at plan-lowering time — resolve the tile
+  // program once here, so shard executions (and replays under dynamic
+  // dispatch) skip even the kernel-cache lookup.
+  const KernelShape shape = KernelShape::of(num_modes, in.factors.rank(),
+                                            BlockOrder::kOutputSorted);
+  const TileProgram* program = &KernelCache::global().find_or_create(shape);
   return [=](const ExecContext& ctx) -> double {
     const auto& device = ctx.platform.gpu(ctx.gpu);
     const int sm_count = device.spec().sm_count;
@@ -50,22 +57,20 @@ KernelFn make_shard_kernel(const ModeLowerInput& in, const Shard* shard) {
     // memcmp-identical output. The executing device only *prices* the
     // grid — its sm_count shapes the ISP split below, whose stats come
     // from an index-only rescan rather than the arithmetic pass.
-    run_ec_block(*ctx.view->data, shard_base,
+    run_ec_block(*program, *ctx.view->data, shard_base,
                  shard_base + static_cast<nnz_t>(shard->nnz()),
-                 copy->partition.mode, *factors, *out,
-                 BlockOrder::kOutputSorted);
+                 copy->partition.mode, *factors, *out);
     const index_t* out_idx =
         ctx.view->data->indices(copy->partition.mode).data();
     std::vector<double> block_seconds;
     for (auto [lo, hi] : split_isps(*shard, isp_size)) {
       // Mode copies are output-sorted, so the sorted stats fast path holds.
-      RunStatsAccumulator acc(BlockOrder::kOutputSorted);
+      RunStatsAccumulator acc(shape);
       for (nnz_t n = shard_base + lo; n < shard_base + hi; ++n) {
         acc.feed(out_idx[n]);
       }
       const auto stats =
-          acc.finish(num_modes, factors->rank(),
-                     static_cast<std::size_t>(options->block_width));
+          acc.finish(static_cast<std::size_t>(options->block_width));
       block_seconds.push_back(
           ctx.platform.cost_model(ctx.gpu).ec_block_seconds(stats, profile));
     }

@@ -26,6 +26,28 @@ double threadblock_utilization(std::size_t rank, std::size_t block_width) {
   return std::min(1.0, threads / 1024.0);
 }
 
+std::vector<std::size_t> ec_tile_widths(std::size_t rank) {
+  // Widths must stay in lockstep with the instantiated kernel set in
+  // core/kernel_cache.cpp (pick_tile): 64, every multiple of 4 below it,
+  // and 1..3 for the last few columns. Greedy 64s plus ONE widest
+  // multiple-of-4 tile keeps the pass count minimal — each extra pass
+  // re-streams the coordinates — so e.g. rank 20 is a single 20-wide
+  // pass and rank 100 is {64, 36}, not {64, 32, 4}.
+  std::vector<std::size_t> widths;
+  std::size_t rem = rank;
+  while (rem >= 64) {
+    widths.push_back(64);
+    rem -= 64;
+  }
+  if (rem >= 4) {
+    const std::size_t w = rem & ~std::size_t{3};
+    widths.push_back(w);
+    rem -= w;
+  }
+  if (rem > 0) widths.push_back(rem);
+  return widths;
+}
+
 double factor_read_efficiency(std::span<const std::uint64_t> full_dims,
                               std::size_t rank, std::size_t output_mode,
                               std::uint64_t l2_bytes, double locality) {
@@ -48,7 +70,6 @@ double CostModel::ec_block_seconds(const EcBlockStats& stats,
   assert(stats.modes >= 2 && stats.rank >= 1);
   if (stats.nnz == 0) return 0.0;
   const double n = static_cast<double>(stats.nnz);
-  const double row_bytes = static_cast<double>(stats.rank) * sizeof(value_t);
 
   const double sm_flops = spec_.flops / spec_.sm_count;
   const double sm_bw = spec_.mem_bandwidth / spec_.sm_count;
@@ -58,17 +79,32 @@ double CostModel::ec_block_seconds(const EcBlockStats& stats,
   // once per same-output run (register accumulation within a run).
   const double runs = static_cast<double>(
       std::min<nnz_t>(stats.nnz, std::max<nnz_t>(1, stats.output_runs)));
-  const double bytes =
-      n * profile.coord_bytes_per_nnz +
-      n * static_cast<double>(stats.modes - 1) * row_bytes *
-          profile.factor_read_efficiency +
-      runs * 2.0 * row_bytes * profile.output_write_efficiency;
 
-  const double flop_time =
-      n * flops_per_nnz(stats.modes, stats.rank, profile) / sm_flops;
-  const double byte_time = bytes / sm_bw;
-  double t = std::max(flop_time, byte_time) /
-             threadblock_utilization(stats.rank, stats.block_width);
+  // The kernel executes the rank as the column-tile passes of
+  // ec_tile_widths: each pass re-streams the coordinates and moves its
+  // own width's share of the factor/output rows, so wide off-menu ranks
+  // price as several passes plus a remainder instead of one ideal
+  // full-width block. Occupancy is a property of the resident block
+  // (the full rank mapped over block_width element lanes), not of each
+  // column pass in isolation — a narrow remainder pass reuses the warps
+  // the wide passes already occupy — so one program-level utilization
+  // divides the summed pass time. Single-tile ranks reduce to the
+  // classic untiled max(flop, byte)/utilization roofline term exactly.
+  double t = 0.0;
+  for (const std::size_t width : ec_tile_widths(stats.rank)) {
+    const double tile_row_bytes =
+        static_cast<double>(width) * sizeof(value_t);
+    const double tile_bytes =
+        n * profile.coord_bytes_per_nnz +
+        n * static_cast<double>(stats.modes - 1) * tile_row_bytes *
+            profile.factor_read_efficiency +
+        runs * 2.0 * tile_row_bytes * profile.output_write_efficiency;
+    const double flop_time =
+        n * flops_per_nnz(stats.modes, width, profile) / sm_flops;
+    const double byte_time = tile_bytes / sm_bw;
+    t += std::max(flop_time, byte_time);
+  }
+  t /= threadblock_utilization(stats.rank, stats.block_width);
 
   // Atomic contention: updates to the same output row serialise. The
   // contiguous part of the hottest row (its longest run) is mostly

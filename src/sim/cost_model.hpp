@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "sim/device.hpp"
 #include "tensor/types.hpp"
@@ -56,6 +57,15 @@ struct EcBlockStats {
 // to hide latency; undersized blocks run proportionally slower (Fig. A4
 // ablation). 1024 resident threads saturate an Ada SM for this kernel.
 double threadblock_utilization(std::size_t rank, std::size_t block_width);
+
+// Greedy column-tile decomposition the runtime kernel-specialisation layer
+// (core/kernel_cache) executes an arbitrary rank with: 64/32/16/8-wide
+// passes plus one < 8 remainder. Shared between execution and pricing so
+// ec_block_seconds models exactly the passes that run: each pass re-streams
+// the coordinates and runs at its own width's occupancy. Menu ranks
+// (8/16/32/64 and anything < 8) decompose to a single full-width tile, for
+// which the per-tile sum reduces to the untiled roofline exactly.
+std::vector<std::size_t> ec_tile_widths(std::size_t rank);
 
 class CostModel {
  public:

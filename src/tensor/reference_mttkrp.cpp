@@ -1,7 +1,6 @@
 #include "tensor/reference_mttkrp.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cassert>
 #include <cmath>
 #include <vector>
@@ -18,8 +17,7 @@ DenseMatrix reference_mttkrp(const CooTensor& t, const FactorSet& factors,
   // Double-precision accumulator, converted to value_t at the end.
   std::vector<double> acc(static_cast<std::size_t>(t.dim(output_mode)) * rank,
                           0.0);
-  std::array<double, 256> scratch{};  // rank <= 256 in this project
-  assert(rank <= scratch.size());
+  std::vector<double> scratch(rank, 0.0);
 
   for (nnz_t n = 0; n < t.nnz(); ++n) {
     const double val = t.values()[n];

@@ -90,6 +90,42 @@ TEST(EcKernelTest, EmptyRange) {
   EXPECT_DOUBLE_EQ(out.frob_sq(), 0.0);
 }
 
+TEST(EcKernelTest, RankZeroThrowsInvalidArgument) {
+  auto t = tiny_tensor({2, 2}, {{0, 0}}, {1.0f});
+  Rng rng(11);
+  FactorSet f(t.dims(), 0, rng);
+  DenseMatrix out(2, 0);
+  EXPECT_THROW(run_ec_block(t, 0, t.nnz(), 0, f, out),
+               std::invalid_argument);
+  EXPECT_THROW(run_ec_block_generic(t, 0, t.nnz(), 0, f, out),
+               std::invalid_argument);
+  EXPECT_THROW(KernelShape::of(2, 0, BlockOrder::kUnsorted),
+               std::invalid_argument);
+}
+
+// The historical register-buffer ceiling (kMaxRank = 256, asserted in
+// debug and stack-corrupting in release past rank 64 originally, past 256
+// later) is gone: the tile decomposition serves any rank, and the generic
+// reference falls back to heap scratch above its stack bound.
+TEST(EcKernelTest, RanksBeyondOldCeilingMatchReference) {
+  GeneratorOptions opt;
+  opt.dims = {48, 24, 16};
+  opt.nnz = 600;
+  opt.zipf_exponents = {0.8, 0.0, 0.3};
+  opt.seed = 12;
+  auto t = generate_random(opt);
+  for (const std::size_t rank : {std::size_t{65}, std::size_t{257},
+                                 std::size_t{300}}) {
+    Rng rng(13);
+    FactorSet f(t.dims(), rank, rng);
+    DenseMatrix out(48, rank);
+    auto stats = run_ec_block(t, 0, t.nnz(), 0, f, out);
+    EXPECT_EQ(stats.rank, rank);
+    const auto ref = reference_mttkrp(t, f, 0);
+    EXPECT_LT(relative_max_diff(ref, out), 1e-4) << "rank " << rank;
+  }
+}
+
 TEST(RunStatsAccumulatorTest, MatchesRunEcBlockStats) {
   GeneratorOptions opt;
   opt.dims = {64, 64, 64};
@@ -111,6 +147,20 @@ TEST(RunStatsAccumulatorTest, MatchesRunEcBlockStats) {
   EXPECT_EQ(via_acc.output_runs, direct.output_runs);
   EXPECT_EQ(via_acc.max_run, direct.max_run);
   EXPECT_EQ(via_acc.max_multiplicity, direct.max_multiplicity);
+}
+
+TEST(RunStatsAccumulatorTest, ShapeCtorBindsGeometry) {
+  const auto shape = KernelShape::of(3, 48, BlockOrder::kOutputSorted);
+  RunStatsAccumulator acc(shape);
+  acc.feed(1);
+  acc.feed(1);
+  acc.feed(2);
+  auto s = acc.finish(32);
+  EXPECT_EQ(s.modes, 3u);
+  EXPECT_EQ(s.rank, 48u);
+  EXPECT_EQ(s.block_width, 32u);
+  EXPECT_EQ(s.max_run, 2u);
+  EXPECT_EQ(s.max_multiplicity, 2u);  // kOutputSorted: mult == max_run
 }
 
 TEST(RunStatsAccumulatorTest, FinishResetsForReuse) {

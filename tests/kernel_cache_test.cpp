@@ -1,0 +1,223 @@
+// Tile-program dispatch (core/kernel_cache): bit-identity against the
+// single-pass generic kernel across the full shape space, cache key and
+// find-or-create semantics, and thread-safety of the lock-free lookup
+// path (the concurrency tests run in the TSan CI lane).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "core/ec_kernel.hpp"
+#include "core/kernel_cache.hpp"
+#include "tensor/generator.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amped {
+namespace {
+
+CooTensor random_tensor(std::size_t modes, nnz_t nnz, std::uint64_t seed,
+                        bool sorted) {
+  GeneratorOptions opt;
+  // Mixed mode sizes so runs, repeats, and scattered rows all occur.
+  const index_t sizes[] = {96, 40, 24, 12, 8, 6, 5, 4};
+  opt.dims.assign(sizes, sizes + modes);
+  opt.nnz = nnz;
+  opt.zipf_exponents.assign(modes, 0.0);
+  opt.zipf_exponents[0] = 0.9;
+  opt.seed = seed;
+  auto t = generate_random(opt);
+  if (sorted) t.sort_by_mode(0);
+  return t;
+}
+
+// memcmp-level equality: tiled dispatch must be bit-identical to the
+// generic kernel, not merely close — each rank column performs the same
+// FP operation sequence in the same order regardless of tiling.
+void expect_bit_identical(const DenseMatrix& tiled,
+                          const DenseMatrix& generic, std::size_t rank,
+                          std::size_t modes, bool sorted) {
+  ASSERT_EQ(tiled.data().size(), generic.data().size());
+  EXPECT_EQ(std::memcmp(tiled.data().data(), generic.data().data(),
+                        tiled.data().size() * sizeof(value_t)),
+            0)
+      << "rank " << rank << " modes " << modes
+      << (sorted ? " sorted" : " unsorted");
+}
+
+// Every rank 1..200 x mode counts 2/3/4/5 x sorted/unsorted: identical
+// output bits and identical block stats.
+TEST(KernelCacheEquivalence, TiledMatchesGenericAcrossShapes) {
+  for (const std::size_t modes : {2u, 3u, 4u, 5u}) {
+    for (const bool sorted : {true, false}) {
+      const auto t = random_tensor(modes, 800, 100 + modes, sorted);
+      const auto order =
+          sorted ? BlockOrder::kOutputSorted : BlockOrder::kUnsorted;
+      for (std::size_t rank = 1; rank <= 200; ++rank) {
+        Rng rng(7 + rank);
+        const FactorSet f(t.dims(), rank, rng);
+        DenseMatrix tiled(t.dim(0), rank);
+        DenseMatrix generic(t.dim(0), rank);
+        const auto st = run_ec_block(t, 0, t.nnz(), 0, f, tiled, order);
+        const auto sg =
+            run_ec_block_generic(t, 0, t.nnz(), 0, f, generic, order);
+        expect_bit_identical(tiled, generic, rank, modes, sorted);
+        EXPECT_EQ(st.nnz, sg.nnz);
+        EXPECT_EQ(st.output_runs, sg.output_runs);
+        EXPECT_EQ(st.max_run, sg.max_run);
+        EXPECT_EQ(st.max_multiplicity, sg.max_multiplicity);
+        EXPECT_EQ(st.modes, sg.modes);
+        EXPECT_EQ(st.rank, sg.rank);
+      }
+    }
+  }
+}
+
+// Partial ranges and non-output modes dispatch identically too.
+TEST(KernelCacheEquivalence, PartialRangesAndOtherModes) {
+  const auto t = random_tensor(3, 1200, 42, true);
+  for (const std::size_t rank : {20u, 48u, 100u}) {
+    Rng rng(5 + rank);
+    const FactorSet f(t.dims(), rank, rng);
+    for (std::size_t mode = 0; mode < 3; ++mode) {
+      DenseMatrix tiled(t.dim(mode), rank);
+      DenseMatrix generic(t.dim(mode), rank);
+      for (nnz_t lo = 0; lo < t.nnz(); lo += 379) {
+        const nnz_t hi = std::min<nnz_t>(t.nnz(), lo + 379);
+        run_ec_block(t, lo, hi, mode, f, tiled);
+        run_ec_block_generic(t, lo, hi, mode, f, generic);
+      }
+      expect_bit_identical(tiled, generic, rank, 3, mode == 0);
+    }
+  }
+}
+
+TEST(KernelShapeTest, KeyBucketsModeClassAndOrder) {
+  const auto a = KernelShape::of(3, 100, BlockOrder::kOutputSorted);
+  EXPECT_EQ(a.rank, 100u);
+  EXPECT_EQ(a.modes, 3u);
+  EXPECT_EQ(a.mode_class(), 3u);
+  EXPECT_EQ(a.index_width, sizeof(index_t));
+
+  // Distinct rank, mode class, or order -> distinct keys.
+  EXPECT_FALSE(a == KernelShape::of(3, 101, BlockOrder::kOutputSorted));
+  EXPECT_FALSE(a == KernelShape::of(4, 100, BlockOrder::kOutputSorted));
+  EXPECT_FALSE(a == KernelShape::of(3, 100, BlockOrder::kUnsorted));
+  // >=5-mode tensors share the generic-fallback bucket.
+  EXPECT_EQ(KernelShape::of(5, 100, BlockOrder::kUnsorted).mode_class(), 0u);
+  EXPECT_TRUE(KernelShape::of(5, 100, BlockOrder::kUnsorted) ==
+              KernelShape::of(6, 100, BlockOrder::kUnsorted));
+}
+
+TEST(KernelCacheTest, FindOrCreateIsIdempotentAndCounts) {
+  auto& cache = KernelCache::global();
+  // A rank distinct per run of this binary is not possible (the cache is
+  // process-global), so use a corner of the shape space the other tests
+  // do not touch and assert relative growth.
+  const auto shape = KernelShape::of(4, 199, BlockOrder::kUnsorted);
+  const std::size_t before = cache.size();
+  const auto& first = cache.find_or_create(shape);
+  ASSERT_GE(cache.size(), before);  // maybe created just now
+  const auto& second = cache.find_or_create(shape);
+  EXPECT_EQ(&first, &second);  // stable handle, one program per shape
+  EXPECT_EQ(cache.size(), cache.size());
+
+  // Tile decomposition is the greedy 64/32/16/8 + remainder split and
+  // covers the rank exactly.
+  std::size_t covered = 0;
+  for (const auto& tile : first.tiles()) {
+    EXPECT_EQ(tile.col, covered);
+    covered += tile.width;
+  }
+  EXPECT_EQ(covered, 199u);
+  const auto widths = sim::ec_tile_widths(199);
+  ASSERT_EQ(widths.size(), first.tiles().size());
+
+  // Metrics: a fresh lookup of a warm shape is a hit.
+  const auto hits_before = metrics::counter("kernel_cache.hits").value();
+  cache.find_or_create(shape);
+  EXPECT_GT(metrics::counter("kernel_cache.hits").value(), hits_before);
+  EXPECT_GT(metrics::counter("kernel_cache.shapes").value(), 0u);
+  EXPECT_GT(metrics::counter("kernel_cache.misses").value(), 0u);
+}
+
+TEST(KernelCacheTest, TileWidthDecomposition) {
+  using W = std::vector<std::size_t>;
+  EXPECT_EQ(sim::ec_tile_widths(8), (W{8}));
+  EXPECT_EQ(sim::ec_tile_widths(16), (W{16}));
+  EXPECT_EQ(sim::ec_tile_widths(32), (W{32}));
+  EXPECT_EQ(sim::ec_tile_widths(64), (W{64}));
+  EXPECT_EQ(sim::ec_tile_widths(3), (W{3}));
+  // Off-menu ranks: greedy 64s + one widest multiple-of-4 tile + a <=3
+  // remainder, so the pass count (each pass re-streams coordinates)
+  // stays minimal.
+  EXPECT_EQ(sim::ec_tile_widths(20), (W{20}));
+  EXPECT_EQ(sim::ec_tile_widths(48), (W{48}));
+  EXPECT_EQ(sim::ec_tile_widths(100), (W{64, 36}));
+  EXPECT_EQ(sim::ec_tile_widths(103), (W{64, 36, 3}));
+  EXPECT_EQ(sim::ec_tile_widths(200), (W{64, 64, 64, 8}));
+  EXPECT_TRUE(sim::ec_tile_widths(0).empty());
+}
+
+// Hammer find-or-create from the pool across a band of shapes: every
+// thread must observe exactly one program per shape (stable addresses),
+// with no data race on the lock-free bucket walk. Runs under TSan in CI.
+TEST(KernelCacheConcurrency, FindOrCreateFromManyThreads) {
+  auto& cache = KernelCache::global();
+  constexpr std::size_t kShapes = 24;
+  constexpr std::size_t kProbes = 64;
+  std::vector<std::atomic<const TileProgram*>> seen(kShapes);
+  std::atomic<bool> mismatch{false};
+
+  ThreadPool pool(8);
+  pool.parallel_for(kShapes * kProbes, [&](std::size_t i) {
+    const std::size_t s = i % kShapes;
+    // Ranks 501.. keep this band disjoint from other tests' shapes.
+    const auto shape = KernelShape::of(
+        2 + s % 4, 501 + s,
+        s % 2 ? BlockOrder::kOutputSorted : BlockOrder::kUnsorted);
+    const TileProgram* program = &cache.find_or_create(shape);
+    const TileProgram* expected = nullptr;
+    if (!seen[s].compare_exchange_strong(expected, program) &&
+        expected != program) {
+      mismatch.store(true);
+    }
+  });
+  pool.wait_idle();
+  EXPECT_FALSE(mismatch.load());
+  for (const auto& p : seen) EXPECT_NE(p.load(), nullptr);
+}
+
+// Concurrent dispatch through the cache while other threads are still
+// inserting: lanes run disjoint output matrices, results must match the
+// serial generic kernel bit for bit.
+TEST(KernelCacheConcurrency, ConcurrentDispatchMatchesGeneric) {
+  const auto t = random_tensor(3, 2000, 77, true);
+  constexpr std::size_t kLanes = 8;
+  const std::size_t base_rank = 90;  // 90..97: all off-menu, multi-tile
+  std::vector<DenseMatrix> outs;
+  std::vector<FactorSet> factor_sets;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    Rng rng(200 + l);
+    factor_sets.emplace_back(t.dims(), base_rank + l, rng);
+    outs.emplace_back(t.dim(0), base_rank + l);
+  }
+
+  ThreadPool pool(kLanes);
+  pool.parallel_for(kLanes, [&](std::size_t l) {
+    run_ec_block(t, 0, t.nnz(), 0, factor_sets[l], outs[l],
+                 BlockOrder::kOutputSorted);
+  });
+  pool.wait_idle();
+
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    DenseMatrix generic(t.dim(0), base_rank + l);
+    run_ec_block_generic(t, 0, t.nnz(), 0, factor_sets[l], generic,
+                         BlockOrder::kOutputSorted);
+    expect_bit_identical(outs[l], generic, base_rank + l, 3, true);
+  }
+}
+
+}  // namespace
+}  // namespace amped
