@@ -7,7 +7,9 @@
 // Execution-engine flags (see exec/scheduler.hpp):
 //   --policy cost-model           shard scheduling policy (static-greedy,
 //                                 dynamic-queue, contiguous,
-//                                 weighted-static, cost-model)
+//                                 weighted-static, cost-model,
+//                                 dynamic-lookahead; short spellings
+//                                 greedy/dynamic/weighted/lookahead)
 //   --allgather direct            factor exchange (ring, direct, host-staged)
 //   --pipelined                   double-buffered shard streaming
 //   --backend sim|host            run plans on the simulated platform
@@ -60,6 +62,23 @@
 // the batched factors are bit-identical to solo execution and reports the
 // composed-vs-back-to-back makespan. Without file arguments two demo
 // tensors are generated.
+//
+// Graph scheduling (batched mode only, docs/SCHEDULING.md):
+//   --graph                       lower each batched mode step as one
+//                                 dependency graph: the factor all-gather
+//                                 is an edge, not a barrier, so tensor
+//                                 A's next mode starts the moment its own
+//                                 factors land — even while tensor B's
+//                                 mode-d tail still drains
+//   --graph-window N              compose N whole ALS iterations per
+//                                 graph dispatch (implies --graph;
+//                                 requires --tol 0 and a static,
+//                                 non-pipelined policy, else the run
+//                                 falls back to phase barriers and says
+//                                 so). --report-json gains a
+//                                 gather_edges array: one record per
+//                                 all-gather edge with workload,
+//                                 iteration, mode, bytes, start, finish.
 //
 // Without --input, a small demo tensor is generated and written next to
 // the model so the whole I/O path is exercised.
@@ -142,6 +161,83 @@ BatchInput load_batch_input(const std::string& input) {
   return out;
 }
 
+// The --batch flavour of the --report-json run report: per-tensor
+// results plus the batch-level schedule evidence — makespan and
+// back-to-back baseline, barrier/dispatch counters, and one record per
+// all-gather edge (workload, iteration, mode, bytes, start, finish) —
+// the executor's per-edge gather accounting, machine-readable.
+bool write_batch_report_json(const std::string& path,
+                             const amped::CpdOptions& opt, int gpus,
+                             const std::vector<amped::CpdResult>& batched,
+                             const amped::BatchReport& report,
+                             double back_to_back_seconds,
+                             const amped::sim::TraceLog* trace) {
+  using namespace amped;
+  std::ofstream out(path);
+  if (!out) return false;
+  json::Writer w(out);
+  w.begin_object();
+  w.member("schema_version", 1);
+
+  w.key("config").begin_object();
+  w.member("batch", true);
+  w.member("tensors", batched.size());
+  w.member("gpus", gpus);
+  w.member("rank", opt.rank);
+  w.member("max_iterations", opt.max_iterations);
+  w.member("tolerance", opt.tolerance);
+  w.member("backend", to_string(opt.mttkrp.backend));
+  w.member("policy", exec::make_scheduler(opt.mttkrp)->name());
+  w.member("allgather", to_string(opt.mttkrp.allgather));
+  w.member("pipelined", opt.mttkrp.pipelined_streaming);
+  w.member("graph_window", opt.graph_window);
+  w.end_object();
+
+  w.key("results").begin_array();
+  for (const auto& r : batched) {
+    w.begin_object();
+    w.member("fit", r.fit);
+    w.member("iterations", r.iterations);
+    w.member("converged", r.converged);
+    w.member("mttkrp_seconds", r.mttkrp_sim_seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("batch").begin_object();
+  w.member("makespan_seconds", report.total_seconds);
+  w.member("back_to_back_seconds", back_to_back_seconds);
+  w.member("elided_barriers", report.elided_barriers);
+  w.member("graph_dispatches", report.graph_dispatches);
+  w.member("mode_steps", report.steps.size());
+  w.end_object();
+
+  w.key("gather_edges").begin_array();
+  for (const auto& e : report.gather_edges) {
+    w.begin_object();
+    w.member("workload", e.workload);
+    w.member("iteration", e.iteration);
+    w.member("mode", e.mode);
+    w.member("bytes", e.bytes);
+    w.member("start", e.start);
+    w.member("finish", e.finish);
+    w.end_object();
+  }
+  w.end_array();
+
+  if (trace != nullptr) {
+    w.key("trace").begin_object();
+    w.member("events", trace->events().size());
+    w.member("dropped", trace->dropped());
+    w.end_object();
+  }
+
+  w.key("metrics").raw(metrics::Registry::global().snapshot_json());
+  w.end_object();
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
 // The --batch path: decompose every input in one composed run, verify
 // bit-identity against solo runs, and report the makespan saving.
 int run_batch(const amped::CliArgs& args, amped::CpdOptions opt, int gpus,
@@ -211,11 +307,44 @@ int run_batch(const amped::CliArgs& args, amped::CpdOptions opt, int gpus,
               to_string(opt.mttkrp.backend).c_str(), tensors.size());
 
   auto platform = sim::make_default_platform(gpus);
+  sim::TraceLog trace;
+  // Graph runs add "gather-edge scope<N> mode<M>" rows to the timeline,
+  // so the Perfetto view shows kernels running across an in-flight
+  // gather — the overlap a phase barrier would forbid.
+  if (args.has("trace")) platform.attach_trace(&trace);
   BatchReport report;
   const auto batched = cpd_batch(platform, tensor_ptrs, opt, &report);
   std::printf("composed plan: %zu tensors per mode step, %zu barriers "
               "elided across %zu steps\n",
               tensors.size(), report.elided_barriers, report.steps.size());
+  if (opt.graph_window > 0) {
+    if (report.graph_dispatches == 0) {
+      std::printf("graph scheduling requested but fell back to "
+                  "phase-barrier composition (needs --tol 0 and a static, "
+                  "non-pipelined policy)\n");
+    } else {
+      // Overlap evidence straight from the executor's timeline: a gather
+      // edge is overlapped when another workload's kernels run while it
+      // is in flight — exactly what a phase barrier would forbid.
+      std::size_t overlapped = 0;
+      for (const auto& e : report.gather_edges) {
+        for (const auto& k : report.kernel_spans) {
+          if (k.workload != e.workload && k.start < e.finish &&
+              k.finish > e.start) {
+            ++overlapped;
+            break;
+          }
+        }
+      }
+      std::printf("graph schedule: %zu dispatch%s of a %zu-iteration "
+                  "window, %zu gather edges (%zu overlapped by another "
+                  "tensor's kernels)\n",
+                  report.graph_dispatches,
+                  report.graph_dispatches == 1 ? "" : "es",
+                  opt.graph_window, report.gather_edges.size(),
+                  overlapped);
+    }
+  }
 
   // Solo reference runs: same options, fresh platforms. The factors must
   // be bit-identical — composition may only change *when* shards run,
@@ -267,6 +396,26 @@ int run_batch(const amped::CliArgs& args, amped::CpdOptions opt, int gpus,
             .string();
     write_model_file(model, model_path);
     std::printf("model %zu saved to %s\n", i, model_path.c_str());
+  }
+  if (args.has("trace")) {
+    const std::string trace_path = args.get("trace", "trace.json");
+    trace.write_chrome_json_file(trace_path);
+    std::printf("%s timeline written to %s (%zu events)\n",
+                opt.mttkrp.backend == exec::ExecBackend::kHostParallel
+                    ? "measured"
+                    : "simulated",
+                trace_path.c_str(), trace.events().size());
+  }
+  if (args.has("report-json")) {
+    const std::string report_path = args.get("report-json", "report.json");
+    if (!write_batch_report_json(report_path, opt, gpus, batched, report,
+                                 solo_sum,
+                                 args.has("trace") ? &trace : nullptr)) {
+      std::fprintf(stderr, "error: cannot write run report to %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    std::printf("batch run report written to %s\n", report_path.c_str());
   }
   return 0;
 }
@@ -328,6 +477,7 @@ bool write_report_json(const std::string& path, const amped::CliArgs& args,
   w.end_object();
   w.key("p2p").begin_object();
   w.member("measured_seconds", result.p2p_seconds);
+  w.member("gather_bytes", result.gather_bytes);
   w.end_object();
   w.key("sync").begin_object();
   w.member("measured_seconds", result.sync_seconds);
@@ -414,6 +564,11 @@ int main(int argc, char** argv) {
   if (args.has("batch")) {
     opt.rank = rank;
     opt.max_iterations = iters;
+    // --graph alone is a one-iteration window: every mode step of that
+    // iteration is still a single composed graph whose gathers are edges.
+    const bool graph = args.get_bool("graph", false);
+    opt.graph_window = static_cast<std::size_t>(
+        args.get_int("graph-window", graph ? 1 : 0));
     return run_batch(args, opt, gpus, output);
   }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links in README.md and docs/.
+
+Every relative link target must exist on disk, and every fragment
+(`path.md#anchor` or in-page `#anchor`) must match a heading in the
+target file using GitHub's anchor rules (lowercase, punctuation
+stripped, spaces to hyphens, duplicate suffixes -1, -2, ...).
+
+External links (http/https/mailto) are not fetched. Exit status is the
+number of broken links, so any dead link fails CI.
+
+Usage: python3 scripts/check_links.py [file-or-dir ...]
+       (defaults to README.md and docs/, relative to the repo root)
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — skip images (![alt](...)) and nested closing parens
+# inside the target (markdown rarely needs them; none in this repo).
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor transform (ASCII approximation)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path, cache={}) -> set:
+    if path not in cache:
+        anchors, counts, in_fence = set(), {}, False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            base = github_anchor(m.group(1))
+            n = counts.get(base, 0)
+            counts[base] = n + 1
+            anchors.add(base if n == 0 else f"{base}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(md: pathlib.Path) -> list:
+    errors, in_fence = [], False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = md if not path_part else (
+                md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{md.relative_to(REPO_ROOT)}:{lineno}: "
+                              f"missing target: {target}")
+                continue
+            if fragment:
+                if dest.suffix != ".md" or dest.is_dir():
+                    continue
+                if fragment.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{md.relative_to(REPO_ROOT)}:{lineno}: "
+                        f"no anchor '#{fragment}' in "
+                        f"{dest.relative_to(REPO_ROOT)} ({target})")
+    return errors
+
+
+def main(argv: list) -> int:
+    roots = [pathlib.Path(a).resolve() for a in argv] or [
+        REPO_ROOT / "README.md", REPO_ROOT / "docs"]
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        else:
+            files.append(root)
+    all_errors = []
+    for md in files:
+        all_errors.extend(check_file(md))
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files, {len(all_errors)} broken links")
+    return len(all_errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

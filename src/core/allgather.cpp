@@ -48,6 +48,64 @@ void exchange_round(sim::Platform& platform,
 
 }  // namespace
 
+double allgather_seconds(const sim::Platform& platform,
+                         std::span<const std::uint64_t> part_bytes,
+                         AllGatherAlgo algo) {
+  const int m = platform.num_gpus();
+  assert(static_cast<int>(part_bytes.size()) == m);
+  if (m <= 1) return 0.0;
+  const auto mod = [m](int x) { return ((x % m) + m) % m; };
+  double total = 0.0;
+  switch (algo) {
+    case AllGatherAlgo::kRing: {
+      // Barrier per step: every round lasts as long as its busiest GPU.
+      for (int z = 0; z < m - 1; ++z) {
+        double round = 0.0;
+        for (int g = 0; g < m; ++g) {
+          const auto s = part_bytes[static_cast<std::size_t>(mod(g - z))];
+          const auto r = part_bytes[static_cast<std::size_t>(mod(g - z - 1))];
+          if (s > 0 || r > 0) {
+            round = std::max(round, std::max(platform.p2p_seconds(s),
+                                             platform.p2p_seconds(r)));
+          }
+        }
+        total += round;
+      }
+      break;
+    }
+    case AllGatherAlgo::kDirect: {
+      for (int z = 1; z < m; ++z) {
+        double round = 0.0;
+        for (int g = 0; g < m; ++g) {
+          const auto s = part_bytes[static_cast<std::size_t>(g)];
+          const auto r = part_bytes[static_cast<std::size_t>(mod(g - z))];
+          if (s > 0 || r > 0) {
+            round = std::max(round, std::max(platform.p2p_seconds(s),
+                                             platform.p2p_seconds(r)));
+          }
+        }
+        total += round;
+      }
+      break;
+    }
+    case AllGatherAlgo::kHostStaged: {
+      std::uint64_t full = 0;
+      double d2h = 0.0;
+      for (int g = 0; g < m; ++g) {
+        const auto p = part_bytes[static_cast<std::size_t>(g)];
+        full += p;
+        d2h = std::max(d2h, platform.d2h_seconds(p));
+      }
+      const double concat =
+          2.0 * static_cast<double>(full) /
+          platform.host_cost_model().spec().mem_bandwidth;
+      total = d2h + concat + platform.h2d_seconds(full);
+      break;
+    }
+  }
+  return total;
+}
+
 AllGatherReport allgather_factor_rows(sim::Platform& platform,
                                       std::span<const std::uint64_t> part_bytes,
                                       AllGatherAlgo algo) {

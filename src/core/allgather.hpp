@@ -38,4 +38,13 @@ AllGatherReport allgather_factor_rows(sim::Platform& platform,
                                       std::span<const std::uint64_t> part_bytes,
                                       AllGatherAlgo algo = AllGatherAlgo::kRing);
 
+// Pure-cost twin of allgather_factor_rows: the seconds the exchange would
+// take on already-synchronised devices, with no clock side effects. The
+// graph interpreter (exec/plan.cpp) prices gather *edges* with this so a
+// gather can occupy an interval of the modelled timeline without forcing
+// every device clock through a barrier.
+double allgather_seconds(const sim::Platform& platform,
+                         std::span<const std::uint64_t> part_bytes,
+                         AllGatherAlgo algo = AllGatherAlgo::kRing);
+
 }  // namespace amped

@@ -36,6 +36,31 @@ struct BatchModeStep {
   double seconds = 0.0;             // makespan growth of the step
 };
 
+// One all-gather dependency edge of a composed dispatch, attributed back
+// to the workload/iteration/mode it belongs to via the composed plan's
+// scope map. Legacy composition reports its end-of-plan gathers through
+// the same records, so per-iteration gather cost is always separable.
+struct BatchGatherEdge {
+  std::size_t workload = 0;   // input order of the owning workload
+  std::size_t iteration = 0;  // ALS iteration (0 for mttkrp_batch)
+  std::size_t mode = 0;       // output mode the gather exchanged
+  std::uint64_t bytes = 0;    // wire bytes the edge moved
+  double start = 0.0;         // seconds after its dispatch started
+  double finish = 0.0;
+};
+
+// First-to-last kernel span of one (workload, iteration, mode) inside a
+// graph-scheduled dispatch — the raw material of the overlap story: span
+// i+1 of one workload starting before span i of another finishes is the
+// lane time barrier-phase composition would have idled away.
+struct BatchKernelSpan {
+  std::size_t workload = 0;
+  std::size_t iteration = 0;
+  std::size_t mode = 0;
+  double start = 0.0;   // seconds after its dispatch started
+  double finish = 0.0;
+};
+
 struct BatchReport {
   double total_seconds = 0.0;  // makespan of the whole batched sweep
   std::vector<BatchModeStep> steps;
@@ -43,12 +68,24 @@ struct BatchReport {
   // accounting (order matches the workload span).
   std::vector<std::vector<double>> per_tensor_gpu_compute;
   std::size_t elided_barriers = 0;  // summed over steps
+  // Per-edge gather accounting across every dispatch of the run.
+  std::vector<BatchGatherEdge> gather_edges;
+  // Graph dispatches only (empty otherwise).
+  std::vector<BatchKernelSpan> kernel_spans;
+  std::size_t graph_dispatches = 0;  // graph-composed plans executed
 };
 
 // Computes MTTKRP along all modes of every workload with constant factor
 // inputs, composing same-position modes across workloads.
 // outputs[i][d] receives workload i's mode-d result (bit-identical to
 // mttkrp_all_modes on workload i alone).
+//
+// With options.graph_schedule (and a static, non-pipelined policy), the
+// whole sweep is one graph-scheduled plan instead of one composed plan
+// per mode position: each workload's modes form a chain whose all-gathers
+// are dependency edges, so workload A's mode d+1 kernels start the moment
+// A's own gather lands — overlapping workload B's mode-d tail instead of
+// waiting at a per-position boundary. Outputs stay bit-identical.
 BatchReport mttkrp_batch(sim::Platform& platform,
                          std::span<const BatchWorkload> workloads,
                          std::vector<std::vector<DenseMatrix>>& outputs,
@@ -60,6 +97,15 @@ BatchReport mttkrp_batch(sim::Platform& platform,
 // convergence decisions are bit-identical to running cp_als per tensor
 // with the same options; `report`, when non-null, receives the composed
 // steps of the whole run. Results are in input order.
+//
+// With options.graph_window > 0, options.tolerance == 0 (iteration count
+// statically known), and a static non-pipelined policy, up to
+// graph_window whole iterations of every tensor are lowered into ONE
+// graph-scheduled plan per window: each link's ALS solve runs as a host
+// op on the gather edge, and the next iteration's kernels chain off it —
+// tensor A's iteration i+1 starts while tensor B's iteration i is still
+// draining. Factors and fits remain bit-identical; checkpoints are
+// written at window boundaries rather than every iteration.
 std::vector<CpdResult> cpd_batch(sim::Platform& platform,
                                  std::span<const AmpedTensor* const> tensors,
                                  const CpdOptions& options,

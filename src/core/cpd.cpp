@@ -78,8 +78,15 @@ AlsState::AlsState(const AmpedTensor& tensor, const CpdOptions& options)
 }
 
 DenseMatrix& AlsState::prepare_mode(std::size_t d) {
-  mttkrp_out_ = DenseMatrix(tensor_->dims()[d], options_->rank);
-  return mttkrp_out_;
+  if (mttkrp_outs_.size() != tensor_->num_modes()) {
+    mttkrp_outs_.resize(tensor_->num_modes());
+  }
+  mttkrp_outs_[d] = DenseMatrix(tensor_->dims()[d], options_->rank);
+  return mttkrp_outs_[d];
+}
+
+void AlsState::charge_mttkrp(double sim_seconds) {
+  result_.mttkrp_sim_seconds += sim_seconds;
 }
 
 void AlsState::update_mode(std::size_t d, double sim_seconds) {
@@ -95,7 +102,7 @@ void AlsState::update_mode(std::size_t d, double sim_seconds) {
       v.data()[i] *= grams_[w].data()[i];
     }
   }
-  DenseMatrix updated = mttkrp_out_;  // keep raw G for the fit
+  DenseMatrix updated = mttkrp_outs_[d];  // keep raw G for the fit
   linalg::solve_normal_equations(v, updated);
 
   // Column-normalise; weights move into lambda.
@@ -131,7 +138,7 @@ void AlsState::update_mode(std::size_t d, double sim_seconds) {
   grams_[d] = linalg::gram(result_.factors.factor(d));
 
   if (d + 1 == modes) {
-    iprod_ = inner_product(mttkrp_out_, result_.factors.factor(d),
+    iprod_ = inner_product(mttkrp_outs_[d], result_.factors.factor(d),
                            result_.lambda);
   }
 }
@@ -284,6 +291,7 @@ CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
   // the result below.
   double h2d = 0.0, compute = 0.0, p2p = 0.0, sync = 0.0;
   double predicted_compute = 0.0, predicted_h2d = 0.0;
+  std::uint64_t gather_bytes = 0;
   while (!state.done()) {
     for (std::size_t d = 0; d < tensor.num_modes(); ++d) {
       DenseMatrix& out = state.prepare_mode(d);
@@ -295,6 +303,7 @@ CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
       sync += bd.sync;
       predicted_compute += bd.predicted_compute;
       predicted_h2d += bd.predicted_h2d;
+      gather_bytes += bd.gather_bytes;
       state.update_mode(d, bd.seconds);
     }
     state.finish_iteration();
@@ -308,6 +317,7 @@ CpdResult cp_als(sim::Platform& platform, const AmpedTensor& tensor,
   result.h2d_seconds = h2d;
   result.compute_seconds = compute;
   result.p2p_seconds = p2p;
+  result.gather_bytes = gather_bytes;
   result.sync_seconds = sync;
   result.predicted_compute_seconds = predicted_compute;
   result.predicted_h2d_seconds = predicted_h2d;

@@ -38,6 +38,14 @@ struct CpdOptions {
   std::string checkpoint_path;
   std::size_t checkpoint_every = 1;
   bool resume = false;
+  // cpd_batch only: when > 0, lower this many ALS iterations at a time
+  // into one graph-scheduled plan (exec/compose.hpp compose_graph) whose
+  // all-gathers are dependency edges — tensor A's mode d+1 starts the
+  // moment its own factors land, overlapping tensor B's mode-d tail.
+  // Requires tolerance == 0 (the iteration count must be statically
+  // known, since convergence cannot be tested mid-window); cpd_batch
+  // falls back to per-mode composition otherwise. 0 = off.
+  std::size_t graph_window = 0;
 };
 
 struct CpdResult {
@@ -56,6 +64,10 @@ struct CpdResult {
   double h2d_seconds = 0.0;
   double compute_seconds = 0.0;
   double p2p_seconds = 0.0;
+  // Factor all-gather traffic summed over the per-edge gather records the
+  // executor keeps (exec::ExecReport::gather_edges) — the bytes behind
+  // p2p_seconds, emitted alongside it by --report-json.
+  std::uint64_t gather_bytes = 0;
   double sync_seconds = 0.0;
   double predicted_compute_seconds = 0.0;
   double predicted_h2d_seconds = 0.0;
@@ -91,12 +103,21 @@ class AlsState {
   std::size_t iterations() const { return result_.iterations; }
 
   // Returns the zero-free output buffer the mode-`d` MTTKRP writes into
-  // (sized dims[d] x rank; the MTTKRP zeroes it).
+  // (sized dims[d] x rank; the MTTKRP zeroes it). Buffers are per mode
+  // with stable addresses, so a graph-scheduled window can hold plans
+  // against every mode's buffer at once.
   DenseMatrix& prepare_mode(std::size_t d);
+  // The mode-`d` MTTKRP buffer as prepare_mode last shaped it. Graph
+  // windows reuse it across iterations (the solve's host op zeroes it
+  // after consuming it) instead of reallocating per iteration.
+  DenseMatrix& buffer(std::size_t d) { return mttkrp_outs_[d]; }
   // Charges `sim_seconds` of simulated MTTKRP time and performs the ALS
   // update for mode `d`: normal equations, column normalisation, gram
   // refresh (and the inner product on the last mode).
   void update_mode(std::size_t d, double sim_seconds);
+  // Charges MTTKRP seconds directly — graph windows price the whole
+  // window's makespan once rather than attributing per mode.
+  void charge_mttkrp(double sim_seconds);
   // Computes the fit, records the iteration, and decides convergence.
   void finish_iteration();
 
@@ -116,7 +137,7 @@ class AlsState {
   const CpdOptions* options_;
   CpdResult result_;
   std::vector<DenseMatrix> grams_;
-  DenseMatrix mttkrp_out_;
+  std::vector<DenseMatrix> mttkrp_outs_;  // one MTTKRP buffer per mode
   double prev_fit_ = 0.0;
   double iprod_ = 0.0;
   bool done_ = false;

@@ -62,6 +62,13 @@ ModeBreakdown mttkrp_one_mode(sim::Platform& platform,
   exec::PlanExecutor executor(platform, options.backend);
   const exec::ExecReport run = executor.run(plan);
   bd.per_gpu_compute = run.per_gpu_compute;
+  // Per-edge gather accounting (a solo mode plan has at most one edge;
+  // summing keeps the report correct if that ever changes).
+  for (const auto& e : run.gather_edges) {
+    bd.gather_bytes += e.bytes;
+    if (bd.gather_finish <= 0.0) bd.gather_start = e.start;
+    bd.gather_finish = std::max(bd.gather_finish, e.finish);
+  }
 
   for (int g = 0; g < m; ++g) platform.gpu(g).free(factor_bytes);
 

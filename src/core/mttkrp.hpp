@@ -39,6 +39,14 @@ struct MttkrpOptions {
   // backend (exec/host_backend.hpp; timings are measured wall clock).
   // Factor outputs are bit-identical either way.
   exec::ExecBackend backend = exec::ExecBackend::kSimulated;
+  // Batched drivers only (mttkrp_batch / cpd_batch): lower each workload
+  // as a *chain* of canonical mode plans and merge them with
+  // exec::compose_graph — all-gathers become dependency edges, so tensor
+  // A's mode d+1 starts the moment A's own gather lands instead of
+  // waiting for every lane of every tensor to drain. Requires a static
+  // policy (contiguous/static-greedy/weighted-static, non-pipelined);
+  // the drivers fall back to per-mode composition otherwise.
+  bool graph_schedule = false;
   // Full-scale mode sizes for the cache model (empty = use the tensor's
   // own dims). Benchmarks running scaled-down Table 3 profiles pass the
   // profile's real dims so factor-matrix cacheability is decided at full
@@ -73,6 +81,13 @@ struct ModeBreakdown {
   // comparable (measured, predicted) pair for --report-json.
   double predicted_compute = 0.0;
   double predicted_h2d = 0.0;
+  // Per-edge all-gather accounting (ExecReport::gather_edges): the bytes
+  // this mode's gather actually moved and when it ran, plan-relative.
+  // Previously only the p2p seconds aggregate was visible, so a batched
+  // run could not attribute gather cost to an iteration/mode.
+  std::uint64_t gather_bytes = 0;
+  double gather_start = 0.0;   // seconds after the plan started
+  double gather_finish = 0.0;  // 0/0 when the mode had no gather edge
 };
 
 struct MttkrpReport {

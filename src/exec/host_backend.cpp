@@ -82,11 +82,20 @@ struct LaneStats {
   double h2d = 0.0;
   double d2h = 0.0;
   double predicted_h2d = 0.0;
+  // Same transfers priced at the fluid share for the lanes actually
+  // streaming when each copy started (sampled from the run's live
+  // counter) — the contention-model column bench_backend_validation
+  // compares against wall_h2d.
+  double predicted_h2d_fluid = 0.0;
   double compute = 0.0;            // measured kernel wall seconds
   double predicted_compute = 0.0;  // cost-model seconds from the closures
   double end = -1.0;  // run-clock offset when the lane finished (-1 = idle)
   std::vector<double> scope_compute;
   std::vector<std::uint64_t> scope_rows;
+  // Graph runs only: run-clock offsets of each scope's first kernel start
+  // and last kernel finish on this lane (-1 = no kernel ran).
+  std::vector<double> scope_start;
+  std::vector<double> scope_finish;
 };
 
 // Structured cancellation for one plan run: the first failure anywhere
@@ -127,7 +136,24 @@ struct RunContext {
   const WallTimer& clock;  // whole-run timer; lane-end offsets read it
   CancelGroup& cg;         // one per run_plan_host_parallel call
   sim::TraceLog* trace;    // platform's attached trace, or nullptr
+  // Live count of lanes inside a staging copy right now; each H2D samples
+  // it (inclusive of itself) to price its fluid-contention prediction.
+  std::atomic<int>& streaming_lanes;
 };
+
+// Stages one payload while holding the streaming-lane counter, and books
+// both predicted columns: the legacy static all-lanes share and the fluid
+// share at the sampled concurrency.
+void stage_counted(RunContext& rc, const io::ShardStreamer::View& view,
+                   const Task& t, DeviceBuffer& buf, LaneStats& stats) {
+  const int lanes =
+      rc.streaming_lanes.fetch_add(1, std::memory_order_relaxed) + 1;
+  stage_payload(view, t.payload_begin, t.payload_end, buf);
+  rc.streaming_lanes.fetch_sub(1, std::memory_order_relaxed);
+  stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
+  stats.predicted_h2d_fluid +=
+      rc.platform.h2d_seconds(t.transfer_bytes, lanes);
+}
 
 // Start stamp for a trace span: seconds on the shared log's clock, so
 // events from every plan run in one job land on one monotone time base.
@@ -225,13 +251,15 @@ void run_lane_sequential(RunContext& rc, int gpu,
         WallTimer w;
         if (annotated(t)) {
           assert(have_view && "annotated H2D with no stream view");
-          stage_payload(view, t.payload_begin, t.payload_end, staged);
+          stage_counted(rc, view, t, staged, stats);
         } else {
           staged.valid = false;
+          stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
+          stats.predicted_h2d_fluid +=
+              rc.platform.h2d_seconds(t.transfer_bytes, 1);
         }
         const double el = w.seconds();
         stats.h2d += el;
-        stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
         trace_op(rc, gpu, 0, sim::Phase::kHostToDevice, ts, el,
                  h2d_label(t));
         break;
@@ -359,11 +387,9 @@ void run_lane_pipelined(RunContext& rc, int gpu,
             const double ts = trace_now(rc);
             WallTimer w;
             assert(have_view && "annotated H2D with no stream view");
-            stage_payload(view, t.payload_begin, t.payload_end,
-                          ring[u % 2]);
+            stage_counted(rc, view, t, ring[u % 2], stats);
             const double el = w.seconds();
             stats.h2d += el;
-            stats.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
             trace_op(rc, gpu, 1, sim::Phase::kHostToDevice, ts, el,
                      h2d_label(t));
           }
@@ -509,12 +535,9 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
               } else if (t.kind == TaskKind::kH2D) {
                 const double ts = trace_now(rc);
                 WallTimer w;
-                stage_payload(shared_view, t.payload_begin, t.payload_end,
-                              staged);
+                stage_counted(rc, shared_view, t, staged, stats);
                 const double el = w.seconds();
                 stats.h2d += el;
-                stats.predicted_h2d +=
-                    rc.platform.h2d_seconds(t.transfer_bytes);
                 trace_op(rc, g, 0, sim::Phase::kHostToDevice, ts, el,
                          h2d_label(t));
               }
@@ -562,6 +585,259 @@ void run_dynamic(RunContext& rc, const std::vector<std::size_t>& ids,
   for (auto& w : workers) w.join();
 }
 
+// Dependency-driven executor for graph-scheduled plans (Plan::graph):
+// one thread per GPU lane runs that lane's tasks in lane order, and one
+// collective-engine thread runs the gather and host-op tasks in plan
+// order. Cross-thread edges (a kernel waiting on the previous link's
+// gather/solve, a gather waiting on its producer kernels) synchronise on
+// per-task completion flags — so tensor A's next mode starts the moment
+// its own factors land, while tensor B's lanes keep streaming.
+//
+// Streamer order is safe without a dispatch lock: every streamer belongs
+// to exactly one (chain, link, GPU) lane, and that lane's tasks run on
+// one thread in lane order.
+void run_plan_graph_host(RunContext& rc, ExecReport& report) {
+  Plan& plan = rc.plan;
+  const int m = rc.platform.num_gpus();
+  const std::size_t scopes = plan.num_scopes();
+
+  std::vector<char> done(plan.tasks.size(), 0);
+  std::mutex mu;
+  std::condition_variable cv;
+  CancelGroup& cg = rc.cg;
+
+  auto mark_done = [&](std::size_t id) {
+    {
+      std::lock_guard lock(mu);
+      done[id] = 1;
+    }
+    cv.notify_all();
+  };
+  // Blocks until every dep has completed (same-lane deps are done by lane
+  // order; this really waits on cross-thread edges). False = cancelled.
+  auto wait_deps = [&](const std::vector<std::size_t>& deps) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] {
+      if (cg.cancelled()) return true;
+      for (const std::size_t d : deps) {
+        if (!done[d]) return false;
+      }
+      return true;
+    });
+    return !cg.cancelled();
+  };
+
+  std::vector<std::vector<std::size_t>> lanes(static_cast<std::size_t>(m));
+  std::vector<std::size_t> globals;  // gathers + host ops, plan order
+  for (std::size_t id = 0; id < plan.tasks.size(); ++id) {
+    const Task& t = plan.tasks[id];
+    if (t.kind == TaskKind::kAllGather || t.kind == TaskKind::kHostOp) {
+      globals.push_back(id);
+    } else {
+      assert(t.kind != TaskKind::kBarrier && "graph plans carry no barriers");
+      assert(t.gpu >= 0 && t.gpu < m && "graph lanes must be static");
+      lanes[static_cast<std::size_t>(t.gpu)].push_back(id);
+    }
+  }
+
+  std::vector<LaneStats> stats(static_cast<std::size_t>(m));
+  for (auto& s : stats) {
+    s.scope_compute.assign(scopes, 0.0);
+    s.scope_rows.assign(scopes, 0);
+    s.scope_start.assign(scopes, -1.0);
+    s.scope_finish.assign(scopes, -1.0);
+  }
+  // Rows each lane's kernels have produced per scope, read by the gather
+  // thread once the producer kernels' done flags are up (the mark_done /
+  // wait_deps lock pair orders the writes before the read).
+  std::vector<std::vector<std::uint64_t>> rows_live(
+      scopes, std::vector<std::uint64_t>(static_cast<std::size_t>(m), 0));
+
+  auto run_lane = [&](int g) {
+    auto& ls = stats[static_cast<std::size_t>(g)];
+    io::ShardStreamer::View view;
+    bool have_view = false;
+    DeviceBuffer staged;
+    std::vector<unsigned char> bounce_src, bounce_dst;
+    for (std::size_t id : lanes[static_cast<std::size_t>(g)]) {
+      if (cg.cancelled()) return;
+      AMPED_FAULT_POINT("host.lane");
+      Task& t = plan.tasks[id];
+      switch (t.kind) {
+        case TaskKind::kSpillFetch: {
+          const double ts = trace_now(rc);
+          WallTimer w;
+          view = plan.streamers[t.streamer]->acquire(t.stream_pos);
+          have_view = true;
+          const double el = w.seconds();
+          ls.fetch += el;
+          trace_op(rc, g, 1, sim::Phase::kHostCompute, ts, el,
+                   "fetch pos" + std::to_string(t.stream_pos));
+          break;
+        }
+        case TaskKind::kH2D: {
+          const double ts = trace_now(rc);
+          WallTimer w;
+          if (annotated(t)) {
+            assert(have_view && "annotated H2D with no stream view");
+            stage_counted(rc, view, t, staged, ls);
+          } else {
+            staged.valid = false;
+            ls.predicted_h2d += rc.platform.h2d_seconds(t.transfer_bytes);
+            ls.predicted_h2d_fluid +=
+                rc.platform.h2d_seconds(t.transfer_bytes, 1);
+          }
+          const double el = w.seconds();
+          ls.h2d += el;
+          trace_op(rc, g, 1, sim::Phase::kHostToDevice, ts, el, h2d_label(t));
+          break;
+        }
+        case TaskKind::kD2H: {
+          const double ts = trace_now(rc);
+          WallTimer w;
+          bounce_src.resize(t.transfer_bytes);
+          bounce_dst.resize(t.transfer_bytes);
+          if (t.transfer_bytes) {
+            std::memcpy(bounce_dst.data(), bounce_src.data(),
+                        t.transfer_bytes);
+          }
+          const double el = w.seconds();
+          ls.d2h += el;
+          trace_op(rc, g, 0, sim::Phase::kDeviceToHost, ts, el,
+                   "d2h scope" + std::to_string(t.scope));
+          break;
+        }
+        case TaskKind::kKernel: {
+          // The cross-link edge: block until the previous link's gather /
+          // solve has published the factor this grid reads.
+          if (!wait_deps(t.deps)) return;
+          const ExecContext ctx{rc.platform, g,
+                                staged.valid ? &staged.view
+                                             : (have_view ? &view : nullptr)};
+          const double ts = trace_now(rc);
+          const double span_start = rc.clock.seconds();
+          WallTimer w;
+          const double predicted = t.kernel(ctx);
+          const double wall = w.seconds();
+          ls.compute += wall;
+          ls.predicted_compute += predicted;
+          ls.scope_compute[t.scope] += wall;
+          ls.scope_rows[t.scope] += t.owned_rows;
+          rows_live[t.scope][static_cast<std::size_t>(g)] += t.owned_rows;
+          if (ls.scope_start[t.scope] < 0.0) {
+            ls.scope_start[t.scope] = span_start;
+          }
+          ls.scope_finish[t.scope] = span_start + wall;
+          kernel_seconds_hist().record_seconds(wall);
+          trace_op(rc, g, 0, sim::Phase::kCompute, ts, wall, kernel_label(t));
+          break;
+        }
+        default:
+          assert(false && "global task on a graph lane");
+      }
+      mark_done(id);
+    }
+    ls.end = rc.clock.seconds();
+  };
+
+  auto run_globals = [&] {
+    for (std::size_t id : globals) {
+      Task& t = plan.tasks[id];
+      if (!wait_deps(t.deps)) return;
+      if (t.kind == TaskKind::kAllGather) {
+        // Factor mirrors are shared host memory: the gather contributes
+        // its edge and its books, not a copy (see the phase path below).
+        const double ts = trace_now(rc);
+        const double start = rc.clock.seconds();
+        WallTimer w;
+        std::uint64_t part_total = 0;
+        for (int g = 0; g < m; ++g) {
+          part_total +=
+              rows_live[t.scope][static_cast<std::size_t>(g)] * t.row_bytes;
+        }
+        const std::uint64_t bytes =
+            m <= 1 ? 0
+                   : (t.allgather == AllGatherAlgo::kHostStaged
+                          ? part_total * (1 + static_cast<std::uint64_t>(m))
+                          : part_total * static_cast<std::uint64_t>(m - 1));
+        const double el = w.seconds();
+        report.wall_allgather += el;
+        report.gather_edges.push_back(
+            ExecReport::GatherEdge{.scope = t.scope,
+                                   .mode = t.mode,
+                                   .bytes = bytes,
+                                   .seconds = el,
+                                   .start = start,
+                                   .finish = start + el});
+        trace_op(rc, -1, 1, sim::Phase::kPeerToPeer, ts, el,
+                 "gather-edge scope" + std::to_string(t.scope) + " mode" +
+                     std::to_string(t.mode));
+      } else {
+        const double ts = trace_now(rc);
+        WallTimer w;
+        t.host_op(rc.platform);
+        const double el = w.seconds();
+        report.wall_host_op += el;
+        trace_op(rc, -1, 0, sim::Phase::kHostCompute, ts, el, "host op");
+      }
+      mark_done(id);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(m) + 1);
+  for (int g = 0; g < m; ++g) {
+    if (lanes[static_cast<std::size_t>(g)].empty()) continue;
+    threads.emplace_back([&, g] {
+      try {
+        run_lane(g);
+      } catch (...) {
+        cg.capture();
+        cv.notify_all();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    try {
+      run_globals();
+    } catch (...) {
+      cg.capture();
+      cv.notify_all();
+    }
+  });
+  for (auto& th : threads) th.join();
+  cg.rethrow_if_any();
+
+  const double flush_end = rc.clock.seconds();
+  report.scope_kernel_start.assign(scopes, -1.0);
+  report.scope_kernel_finish.assign(scopes, -1.0);
+  for (int g = 0; g < m; ++g) {
+    const auto& s = stats[static_cast<std::size_t>(g)];
+    const auto gi = static_cast<std::size_t>(g);
+    report.per_gpu_compute[gi] += s.compute;
+    report.per_gpu_predicted_compute[gi] += s.predicted_compute;
+    report.wall_spill_fetch += s.fetch;
+    report.wall_h2d += s.h2d;
+    report.wall_d2h += s.d2h;
+    report.predicted_h2d += s.predicted_h2d;
+    report.predicted_h2d_fluid += s.predicted_h2d_fluid;
+    for (std::size_t sc = 0; sc < scopes; ++sc) {
+      report.scope_gpu_compute[sc][gi] += s.scope_compute[sc];
+      report.scope_owned_rows[sc][gi] += s.scope_rows[sc];
+      if (s.scope_start[sc] >= 0.0 &&
+          (report.scope_kernel_start[sc] < 0.0 ||
+           s.scope_start[sc] < report.scope_kernel_start[sc])) {
+        report.scope_kernel_start[sc] = s.scope_start[sc];
+      }
+      report.scope_kernel_finish[sc] =
+          std::max(report.scope_kernel_finish[sc], s.scope_finish[sc]);
+    }
+    if (s.end >= 0.0) {
+      report.wall_sync += std::max(0.0, flush_end - s.end);
+    }
+  }
+}
+
 }  // namespace
 
 ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
@@ -577,7 +853,15 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
 
   const WallTimer run_clock;
   CancelGroup cg;
-  RunContext rc{platform, plan, run_clock, cg, platform.trace()};
+  std::atomic<int> streaming_lanes{0};
+  RunContext rc{platform, plan,           run_clock,
+                cg,       platform.trace(), streaming_lanes};
+
+  if (plan.graph) {
+    run_plan_graph_host(rc, report);
+    report.wall_seconds = run_clock.seconds();
+    return report;
+  }
 
   auto make_stats = [&] {
     LaneStats s;
@@ -596,6 +880,7 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
     report.wall_h2d += s.h2d;
     report.wall_d2h += s.d2h;
     report.predicted_h2d += s.predicted_h2d;
+    report.predicted_h2d_fluid += s.predicted_h2d_fluid;
     for (std::size_t sc = 0; sc < scopes; ++sc) {
       report.scope_gpu_compute[sc][g] += s.scope_compute[sc];
       report.scope_owned_rows[sc][g] += s.scope_rows[sc];
@@ -703,9 +988,28 @@ ExecReport run_plan_host_parallel(sim::Platform& platform, Plan& plan) {
         // device port replaces this branch with real peer copies sized
         // scope_owned_rows[scope][g] * row_bytes, like the simulator.
         const double ts = trace_now(rc);
+        const double start = run_clock.seconds();
         WallTimer w;
+        std::uint64_t part_total = 0;
+        for (int g = 0; g < m; ++g) {
+          part_total +=
+              report.scope_owned_rows[t.scope][static_cast<std::size_t>(g)] *
+              t.row_bytes;
+        }
+        const std::uint64_t bytes =
+            m <= 1 ? 0
+                   : (t.allgather == AllGatherAlgo::kHostStaged
+                          ? part_total * (1 + static_cast<std::uint64_t>(m))
+                          : part_total * static_cast<std::uint64_t>(m - 1));
         const double el = w.seconds();
         report.wall_allgather += el;
+        report.gather_edges.push_back(
+            ExecReport::GatherEdge{.scope = t.scope,
+                                   .mode = t.mode,
+                                   .bytes = bytes,
+                                   .seconds = el,
+                                   .start = start,
+                                   .finish = start + el});
         trace_op(rc, -1, 0, sim::Phase::kPeerToPeer, ts, el,
                  "allgather scope" + std::to_string(t.scope));
         break;

@@ -4,9 +4,11 @@
 #include <cassert>
 #include <exception>
 #include <queue>
+#include <span>
 #include <utility>
 
 #include "exec/host_backend.hpp"
+#include "sim/fluid_link.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,14 +35,331 @@ std::vector<metrics::Counter*> dispatch_counters(int m) {
   return counters;
 }
 
+// Total bytes an all-gather of these partitions puts on the wire, matching
+// allgather_factor_rows' bookkeeping: ring and direct send every partition
+// to M-1 peers; host-staged moves each partition D2H once and broadcasts
+// the concatenation to all M GPUs.
+std::uint64_t allgather_bytes(int m, std::span<const std::uint64_t> part_bytes,
+                              AllGatherAlgo algo) {
+  std::uint64_t total = 0;
+  for (const auto p : part_bytes) total += p;
+  if (m <= 1) return 0;
+  if (algo == AllGatherAlgo::kHostStaged) {
+    return total + static_cast<std::uint64_t>(m) * total;
+  }
+  return static_cast<std::uint64_t>(m - 1) * total;
+}
+
+// Dependency-driven interpreter for graph-scheduled plans (Plan::graph).
+//
+// Two passes. Pass 1 runs the real side effects (streamer acquires,
+// kernel arithmetic, host ops) in plan order — compose_graph emits tasks
+// with every dependency pointing backward, so plan order is a valid
+// topological order and the arithmetic is memcmp-identical to running
+// each source plan solo. It also prices everything whose cost does not
+// depend on the timeline: kernel seconds and all-gather seconds/bytes.
+//
+// Pass 2 places the tasks on a modelled timeline, per engine:
+//
+//  - each GPU keeps a copy engine and a compute engine (pipelined
+//    semantics: the next shard's H2D streams while the current grid
+//    computes, only exposed transfer time is charged);
+//  - H2D transfers go through one FluidHostLink, so the modelled rate of
+//    every transfer reflects how many lanes actually stream during its
+//    interval rather than a static all-lanes share;
+//  - all-gathers run on one serialised collective engine: a gather edge
+//    starts when its producers finish and occupies an interval of the
+//    timeline without forcing every device clock through a barrier —
+//    downstream kernels of *other* scopes keep computing underneath it;
+//  - host ops (ALS solves) run on the host engine at zero modelled cost,
+//    ordered by their dependencies.
+//
+// Each engine runs its tasks FIFO in plan order; across engines the
+// scheduler always expands the earliest-starting ready task. That order
+// is load-bearing: it makes fluid-link admissions nondecreasing in
+// simulated time, so every transfer is priced by the lanes genuinely
+// streaming beside it. (Walking tasks in raw plan order instead would
+// clamp out-of-order admissions to the link clock and queue phantom
+// contention behind transfers that in truth ran earlier.)
+//
+// The device clocks are committed once at the end (compute, exposed H2D,
+// gather share, then a sync to the global modelled finish), so the
+// platform's makespan growth equals the modelled graph makespan.
+ExecReport run_plan_graph(sim::Platform& platform, Plan& plan) {
+  const int m = platform.num_gpus();
+  const std::size_t scopes = plan.num_scopes();
+  ExecReport report;
+  report.per_gpu_compute.assign(static_cast<std::size_t>(m), 0.0);
+  report.scope_gpu_compute.assign(
+      scopes, std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  report.scope_owned_rows.assign(
+      scopes, std::vector<std::uint64_t>(static_cast<std::size_t>(m), 0));
+  report.scope_kernel_start.assign(scopes, -1.0);
+  report.scope_kernel_finish.assign(scopes, -1.0);
+
+  const double t0 = platform.makespan();
+  sim::TraceLog* trace = platform.trace();
+
+  // ---- Pass 1: side effects and timeline-independent prices.
+  std::vector<double> duration(plan.tasks.size(), 0.0);
+  std::vector<std::uint64_t> edge_bytes(plan.tasks.size(), 0);
+  std::vector<double> ec_total(static_cast<std::size_t>(m), 0.0);
+  double gather_total = 0.0;
+
+  // Live stream views, one per streamer: lanes of different chains
+  // interleave in plan order, so the view a kernel reads is found through
+  // its H2D dependency's streamer rather than "the lane's latest fetch".
+  std::vector<io::ShardStreamer::View> views(plan.streamers.size());
+  constexpr std::size_t kNoStreamer = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> task_streamer(plan.tasks.size(), kNoStreamer);
+
+  for (std::size_t id = 0; id < plan.tasks.size(); ++id) {
+    Task& t = plan.tasks[id];
+    switch (t.kind) {
+      case TaskKind::kSpillFetch:
+        assert(t.gpu >= 0 && "graph plans use static lanes");
+        views[t.streamer] = plan.streamers[t.streamer]->acquire(t.stream_pos);
+        task_streamer[id] = t.streamer;
+        break;
+      case TaskKind::kH2D:
+        if (t.alloc_bytes) platform.gpu(t.gpu).alloc(t.alloc_bytes);
+        for (std::size_t dep : t.deps) {
+          if (task_streamer[dep] != kNoStreamer) {
+            task_streamer[id] = task_streamer[dep];
+          }
+        }
+        break;
+      case TaskKind::kD2H:
+        duration[id] = platform.d2h_seconds(t.transfer_bytes);
+        break;
+      case TaskKind::kKernel: {
+        assert(t.gpu >= 0 && "graph plans use static lanes");
+        const auto g = static_cast<std::size_t>(t.gpu);
+        std::size_t streamer = kNoStreamer;
+        for (std::size_t dep : t.deps) {
+          if (task_streamer[dep] != kNoStreamer) {
+            streamer = task_streamer[dep];
+          }
+        }
+        const ExecContext ctx{platform, t.gpu,
+                              streamer == kNoStreamer ? nullptr
+                                                      : &views[streamer]};
+        const double ec = t.kernel(ctx);
+        if (t.free_bytes) platform.gpu(t.gpu).free(t.free_bytes);
+        duration[id] = ec;
+        ec_total[g] += ec;
+        report.per_gpu_compute[g] += ec;
+        report.scope_gpu_compute[t.scope][g] += ec;
+        report.scope_owned_rows[t.scope][g] += t.owned_rows;
+        break;
+      }
+      case TaskKind::kAllGather: {
+        // Producers precede their gather in plan order, so the scope's
+        // owned-row tally is complete by the time its edge is priced.
+        std::vector<std::uint64_t> part_bytes(static_cast<std::size_t>(m), 0);
+        for (int g = 0; g < m; ++g) {
+          part_bytes[static_cast<std::size_t>(g)] =
+              report.scope_owned_rows[t.scope][static_cast<std::size_t>(g)] *
+              t.row_bytes;
+        }
+        duration[id] = allgather_seconds(platform, part_bytes, t.allgather);
+        edge_bytes[id] = allgather_bytes(m, part_bytes, t.allgather);
+        gather_total += duration[id];
+        break;
+      }
+      case TaskKind::kHostOp:
+        t.host_op(platform);
+        break;
+      case TaskKind::kBarrier:
+        assert(false && "graph plans carry no barriers (they are edges)");
+        break;
+    }
+  }
+
+  // ---- Pass 2: dependency-driven timing.
+  const std::size_t num_engines = 2 * static_cast<std::size_t>(m) + 2;
+  const std::size_t gather_engine = 2 * static_cast<std::size_t>(m);
+  const std::size_t host_engine = gather_engine + 1;
+  auto engine_of = [&](const Task& t) -> std::size_t {
+    switch (t.kind) {
+      case TaskKind::kKernel:
+        return static_cast<std::size_t>(m + t.gpu);
+      case TaskKind::kAllGather:
+        return gather_engine;
+      case TaskKind::kHostOp:
+        return host_engine;
+      default:  // kSpillFetch / kH2D / kD2H share the lane's copy engine
+        return static_cast<std::size_t>(t.gpu);
+    }
+  };
+
+  std::vector<std::vector<std::size_t>> queue(num_engines);
+  std::vector<std::size_t> task_engine(plan.tasks.size());
+  std::vector<std::size_t> pending(plan.tasks.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(plan.tasks.size());
+  for (std::size_t id = 0; id < plan.tasks.size(); ++id) {
+    task_engine[id] = engine_of(plan.tasks[id]);
+    queue[task_engine[id]].push_back(id);
+    pending[id] = plan.tasks[id].deps.size();
+    for (std::size_t dep : plan.tasks[id].deps) dependents[dep].push_back(id);
+  }
+
+  // Engine frontiers (absolute modelled time) and lane starting clocks.
+  std::vector<double> frontier(num_engines, t0);
+  std::vector<double> lane_start(static_cast<std::size_t>(m));
+  for (int g = 0; g < m; ++g) {
+    const auto i = static_cast<std::size_t>(g);
+    lane_start[i] = platform.gpu(g).clock();
+    frontier[i] = frontier[static_cast<std::size_t>(m) + i] = lane_start[i];
+  }
+  frontier[host_engine] = platform.host().clock();
+
+  // One shared host link: every H2D is admitted at its modelled start and
+  // completes at the fluid processor-sharing rate for the lanes streaming
+  // alongside it.
+  const auto& cfg = platform.config();
+  sim::FluidHostLink link(cfg.host_link.bandwidth,
+                          cfg.host_aggregate_bandwidth > 0.0
+                              ? cfg.host_aggregate_bandwidth
+                              : cfg.host_link.bandwidth *
+                                    static_cast<double>(std::max(m, 1)));
+  const double h2d_latency =
+      cfg.host_link.latency_s / platform.fixed_cost_divisor();
+
+  std::vector<double> finish(plan.tasks.size(), 0.0);
+  std::vector<char> queued(plan.tasks.size(), 0);
+  std::vector<std::size_t> head(num_engines, 0);
+
+  auto start_of = [&](std::size_t id) {
+    double s = frontier[task_engine[id]];
+    for (std::size_t dep : plan.tasks[id].deps) s = std::max(s, finish[dep]);
+    return s;
+  };
+  using Entry = std::pair<double, std::size_t>;  // (start, engine)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ready;
+  // An engine's head enters the ready heap once all its dependencies have
+  // finished; its start is final at that point (the engine frontier can't
+  // move while an earlier head is still queued), so entries never go
+  // stale and every pop is the globally earliest unexpanded task.
+  auto enqueue_head = [&](std::size_t e) {
+    if (head[e] >= queue[e].size()) return;
+    const std::size_t id = queue[e][head[e]];
+    if (pending[id] != 0 || queued[id]) return;
+    queued[id] = 1;
+    ready.push({start_of(id), e});
+  };
+  for (std::size_t e = 0; e < num_engines; ++e) enqueue_head(e);
+
+  while (!ready.empty()) {
+    const auto [start, e] = ready.top();
+    ready.pop();
+    const std::size_t id = queue[e][head[e]];
+    const Task& t = plan.tasks[id];
+    double fin = start;
+    switch (t.kind) {
+      case TaskKind::kH2D: {
+        const std::size_t flow = link.admit(start, t.transfer_bytes);
+        fin = link.completion(flow) + h2d_latency;
+        if (trace != nullptr && fin > start) {
+          trace->record(sim::TraceEvent{.device = t.gpu,
+                                        .engine = 1,
+                                        .phase = sim::Phase::kHostToDevice,
+                                        .start_s = start,
+                                        .duration_s = fin - start,
+                                        .label = {}});
+        }
+        break;
+      }
+      case TaskKind::kD2H:
+        fin = start + duration[id];
+        break;
+      case TaskKind::kKernel: {
+        fin = start + duration[id];
+        if (trace != nullptr && duration[id] > 0.0) {
+          trace->record(sim::TraceEvent{
+              .device = t.gpu,
+              .engine = 0,
+              .phase = sim::Phase::kCompute,
+              .start_s = start,
+              .duration_s = duration[id],
+              .label = t.labelled ? shard_label(t) : std::string{}});
+        }
+        auto& sks = report.scope_kernel_start[t.scope];
+        auto& skf = report.scope_kernel_finish[t.scope];
+        if (sks < 0.0 || start - t0 < sks) sks = start - t0;
+        if (fin - t0 > skf) skf = fin - t0;
+        break;
+      }
+      case TaskKind::kAllGather:
+        fin = start + duration[id];
+        report.gather_edges.push_back(
+            ExecReport::GatherEdge{.scope = t.scope,
+                                   .mode = t.mode,
+                                   .bytes = edge_bytes[id],
+                                   .seconds = duration[id],
+                                   .start = start - t0,
+                                   .finish = fin - t0});
+        if (trace != nullptr && duration[id] > 0.0) {
+          trace->record(sim::TraceEvent{
+              .device = -1,
+              .engine = 1,
+              .phase = sim::Phase::kPeerToPeer,
+              .start_s = start,
+              .duration_s = duration[id],
+              .label = "gather-edge scope" + std::to_string(t.scope) +
+                       " mode" + std::to_string(t.mode)});
+        }
+        break;
+      default:  // kSpillFetch and kHostOp carry zero modelled cost
+        break;
+    }
+    finish[id] = fin;
+    frontier[e] = fin;
+    ++head[e];
+    for (std::size_t d : dependents[id]) {
+      if (--pending[d] == 0) enqueue_head(task_engine[d]);
+    }
+    enqueue_head(e);
+  }
+
+  double global_finish = t0;
+  for (const double f : finish) global_finish = std::max(global_finish, f);
+
+  // Commit modelled time to the device clocks once: compute, exposed
+  // transfer, the gather share (clamped so no clock overshoots the graph
+  // makespan), then a sync to the global finish. Traces detach for the
+  // commit — the per-task events above already carry the modelled
+  // timeline, and the lump-sum advances would double-count it.
+  if (trace != nullptr) platform.attach_trace(nullptr);
+  for (int g = 0; g < m; ++g) {
+    const auto i = static_cast<std::size_t>(g);
+    auto& device = platform.gpu(g);
+    const double lane_finish =
+        std::max(frontier[i], frontier[static_cast<std::size_t>(m) + i]);
+    const double exposed_h2d =
+        std::max(0.0, lane_finish - lane_start[i] - ec_total[i]);
+    device.advance(sim::Phase::kHostToDevice, exposed_h2d);
+    device.advance(sim::Phase::kCompute, ec_total[i]);
+    const double slack = std::max(0.0, global_finish - device.clock());
+    device.advance(sim::Phase::kPeerToPeer, std::min(gather_total, slack));
+    device.wait_until(global_finish);
+  }
+  if (trace != nullptr) platform.attach_trace(trace);
+  return report;
+}
+
 }  // namespace
 
 ExecReport PlanExecutor::run(Plan& plan) {
   if (backend_ == ExecBackend::kHostParallel) {
     return run_plan_host_parallel(platform_, plan);
   }
+  if (plan.graph) {
+    return run_plan_graph(platform_, plan);
+  }
   const int m = platform_.num_gpus();
   const std::size_t scopes = plan.num_scopes();
+  const double run_t0 = platform_.makespan();
   ExecReport report;
   report.per_gpu_compute.assign(static_cast<std::size_t>(m), 0.0);
   report.scope_gpu_compute.assign(
@@ -192,6 +511,20 @@ ExecReport PlanExecutor::run(Plan& plan) {
     bool have_view = false;
     std::vector<metrics::Counter*> dispatched = dispatch_counters(m);
     metrics::Counter& lookahead_wins = metrics::counter("sched.lookahead_wins");
+    // Fluid host-link contention: a transfer admitted on lane `self` at
+    // time `at` shares the host memory system with every lane whose copy
+    // engine is still streaming past that instant, so it is priced at the
+    // processor-sharing rate for that many concurrent streams instead of
+    // the static all-lanes share (sim/fluid_link.hpp).
+    auto streaming_lanes_at = [&](int self, double at) {
+      int lanes = 1;
+      for (int g = 0; g < m; ++g) {
+        if (g != self && pipe[static_cast<std::size_t>(g)].copy > at) {
+          ++lanes;
+        }
+      }
+      return lanes;
+    };
     std::vector<std::size_t> unit;
     for (std::size_t id : ids) {
       unit.push_back(id);
@@ -199,11 +532,12 @@ ExecReport PlanExecutor::run(Plan& plan) {
 
       // The unit's total transfer decides where its kernel could start
       // soonest: max(compute frontier, copy frontier + H2D time), the
-      // look-ahead criterion (ties to the lowest GPU id).
-      double h2d_seconds = 0.0;
+      // look-ahead criterion (ties to the lowest GPU id). The candidate
+      // H2D time is priced per lane at that lane's fluid share.
+      std::uint64_t h2d_bytes = 0;
       for (std::size_t tid : unit) {
         if (plan.tasks[tid].kind == TaskKind::kH2D) {
-          h2d_seconds += platform_.h2d_seconds(plan.tasks[tid].transfer_bytes);
+          h2d_bytes += plan.tasks[tid].transfer_bytes;
         }
       }
       int best = 0;
@@ -212,6 +546,8 @@ ExecReport PlanExecutor::run(Plan& plan) {
       double greedy_start = 0.0;
       for (int g = 0; g < m; ++g) {
         const auto& p = pipe[static_cast<std::size_t>(g)];
+        const double h2d_seconds =
+            platform_.h2d_seconds(h2d_bytes, streaming_lanes_at(g, p.copy));
         const double start_at = std::max(p.compute, p.copy + h2d_seconds);
         if (g == 0 || start_at < best_start) {
           best = g;
@@ -238,7 +574,8 @@ ExecReport PlanExecutor::run(Plan& plan) {
             finish[tid] = p.copy;
             break;
           case TaskKind::kH2D:
-            p.copy += platform_.h2d_seconds(t.transfer_bytes);
+            p.copy += platform_.h2d_seconds(
+                t.transfer_bytes, streaming_lanes_at(best, p.copy));
             finish[tid] = p.copy;
             break;
           case TaskKind::kKernel: {
@@ -337,7 +674,16 @@ ExecReport PlanExecutor::run(Plan& plan) {
               report.scope_owned_rows[t.scope][static_cast<std::size_t>(g)] *
               t.row_bytes;
         }
-        allgather_factor_rows(platform_, part_bytes, t.allgather);
+        const double gather_start = platform_.makespan() - run_t0;
+        const AllGatherReport ag =
+            allgather_factor_rows(platform_, part_bytes, t.allgather);
+        report.gather_edges.push_back(
+            ExecReport::GatherEdge{.scope = t.scope,
+                                   .mode = t.mode,
+                                   .bytes = ag.bytes_moved,
+                                   .seconds = ag.seconds,
+                                   .start = gather_start,
+                                   .finish = gather_start + ag.seconds});
         break;
       }
       case TaskKind::kHostOp:

@@ -158,6 +158,13 @@ struct Plan {
   // lanes never touch the same output rows (AMPED's shard partition
   // guarantees this; the equal-nnz chunks do not).
   bool parallel_lanes = false;
+  // Graph-scheduled plan (exec/compose.hpp compose_graph): all-gathers
+  // are dependency edges (Task::deps names their kernel producers, and
+  // downstream kernels name the gather) instead of plan-suffix phases,
+  // and the executor runs the plan with the dependency-driven interpreter
+  // rather than the segment/flush loop. Legacy plans (graph == false) keep
+  // their bit-identical pre-engine semantics untouched.
+  bool graph = false;
   // Row-ownership scopes; Task::scope indexes this. Empty means one
   // anonymous scope (solo plans lowered before composition existed).
   std::vector<RowScope> scopes;
@@ -172,6 +179,29 @@ struct Plan {
 
 // What the executor learned while running a plan.
 struct ExecReport {
+  // One record per executed all-gather edge, in execution order. Scope
+  // rows used to aggregate gather bytes at plan end only; reporting them
+  // per edge keeps per-iteration (and per-tensor) gather cost attributable
+  // in composed and graph-scheduled plans (--report-json emits these).
+  // `start`/`finish` are modelled timeline offsets under the simulator and
+  // run-clock offsets under the host backend.
+  struct GatherEdge {
+    std::size_t scope = 0;
+    std::size_t mode = 0;
+    std::uint64_t bytes = 0;   // total bytes crossing any link
+    double seconds = 0.0;      // modelled (sim) or measured (host) cost
+    double start = 0.0;
+    double finish = 0.0;
+  };
+  std::vector<GatherEdge> gather_edges;
+
+  // Modelled start/finish of each scope's kernel span (first kernel start,
+  // last kernel finish) on the same time base as GatherEdge. Filled by the
+  // graph interpreter and the host backend; -1 where untracked (legacy
+  // simulator paths, scopes that ran no kernel).
+  std::vector<double> scope_kernel_start;
+  std::vector<double> scope_kernel_finish;
+
   // EC seconds charged per GPU, summed over scopes (sized to the
   // platform's GPU count; idle GPUs report 0.0). Feeds
   // ModeBreakdown::per_gpu_compute. Under the simulated backend these
@@ -203,6 +233,13 @@ struct ExecReport {
   // assignment this equals the simulator's per_gpu_compute exactly.
   std::vector<double> per_gpu_predicted_compute;
   double predicted_h2d = 0.0;    // modelled seconds of the staged transfers
+  // Fluid-contention prediction of the same transfers: each staged copy is
+  // priced at the processor-sharing rate for the number of lanes actually
+  // streaming when it started (host backend samples a live counter). The
+  // static predicted_h2d column prices every transfer at the all-lanes
+  // share; comparing the two against wall_h2d is how
+  // bench_backend_validation validates the fluid model.
+  double predicted_h2d_fluid = 0.0;
 };
 
 // Runs any plan on the platform: per-GPU lanes (parallel when the plan

@@ -151,6 +151,7 @@ void append_mode_epilogue(Plan& plan, const ModeLowerInput& in) {
   gather.kind = TaskKind::kAllGather;
   gather.allgather = in.options.allgather;
   gather.row_bytes = in.factors.rank() * sizeof(value_t);
+  gather.mode = in.mode;  // gather-edge reporting names its output mode
   plan.tasks.push_back(std::move(gather));
 }
 
@@ -246,14 +247,18 @@ ShardRunStats shard_run_stats(const ModeLowerInput& in, const Shard& shard) {
 }
 
 // Simulated seconds for one shard on one device: H2D of the payload plus
-// the grid under that device's roofline and ISP geometry.
+// the grid under that device's roofline and ISP geometry. The transfer
+// leg is priced at the fluid share for `streaming_lanes` concurrent
+// streams (<= 0 keeps the legacy static all-lanes share).
 double estimate_with_stats(const ModeLowerInput& in, const Shard& shard,
-                           const ShardRunStats& run_stats, int gpu) {
+                           const ShardRunStats& run_stats, int gpu,
+                           int streaming_lanes = -1) {
   const auto& cost = in.platform.cost_model(gpu);
   const std::uint64_t payload =
       shard.nnz() * static_cast<std::uint64_t>(in.tensor.bytes_per_nnz());
   const double seconds =
-      in.platform.h2d_seconds(payload) + in.platform.kernel_launch_seconds();
+      in.platform.h2d_seconds(payload, streaming_lanes) +
+      in.platform.kernel_launch_seconds();
   if (shard.nnz() == 0) return seconds;
 
   const int sm_count = cost.spec().sm_count;
@@ -331,6 +336,10 @@ class CostModelScheduler : public StaticScheduler {
 
     // Price every shard on every device: one run-structure scan per
     // shard (device-independent), then a per-device roofline estimate.
+    // H2D legs use the fluid share for the lanes this assignment can
+    // actually keep streaming at once — fewer shards than GPUs means
+    // fewer concurrent streams than the static all-lanes share assumes.
+    const int lanes = static_cast<int>(std::min(m, std::max<std::size_t>(n, 1)));
     std::vector<double> est(n * m);
     std::vector<double> worst(n, 0.0);  // slowest-device seconds per shard
     for (std::size_t id = 0; id < n; ++id) {
@@ -338,7 +347,7 @@ class CostModelScheduler : public StaticScheduler {
       for (std::size_t g = 0; g < m; ++g) {
         const double e = estimate_with_stats(in, partition.shards[id],
                                              run_stats,
-                                             static_cast<int>(g));
+                                             static_cast<int>(g), lanes);
         est[id * m + g] = e;
         worst[id] = std::max(worst[id], e);
       }
@@ -418,8 +427,9 @@ class DynamicQueueScheduler : public Scheduler {
 }  // namespace
 
 double estimate_shard_seconds(const ModeLowerInput& in, const Shard& shard,
-                              int gpu) {
-  return estimate_with_stats(in, shard, shard_run_stats(in, shard), gpu);
+                              int gpu, int streaming_lanes) {
+  return estimate_with_stats(in, shard, shard_run_stats(in, shard), gpu,
+                             streaming_lanes);
 }
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy,

@@ -58,7 +58,14 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy,
 // one GPU (H2D + grid under that device's roofline). Run structure comes
 // from a scan of the resident copy, or from the run-stats segment
 // persisted in the spill file. Exposed for tests.
+//
+// `streaming_lanes` prices the H2D leg: -1 (default) keeps the legacy
+// static all-lanes share; a positive count prices the transfer at the
+// fluid processor-sharing rate for that many concurrently streaming
+// lanes (sim/fluid_link.hpp). The cost-model scheduler passes the number
+// of lanes it will actually keep busy, so sparse assignments are no
+// longer over-charged for contention that never happens.
 double estimate_shard_seconds(const ModeLowerInput& in, const Shard& shard,
-                              int gpu);
+                              int gpu, int streaming_lanes = -1);
 
 }  // namespace amped::exec

@@ -1,0 +1,94 @@
+#include "sim/fluid_link.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace amped::sim {
+
+double FluidHostLink::rate(std::size_t active) const {
+  if (active <= 1) return std::min(lane_bw_, aggregate_bw_);
+  return std::min(lane_bw_, aggregate_bw_ / static_cast<double>(active));
+}
+
+void FluidHostLink::advance_to(double t) {
+  while (!active_.empty() && now_ < t) {
+    const double r = rate(active_.size());
+    double min_rem = std::numeric_limits<double>::infinity();
+    for (std::size_t id : active_) {
+      min_rem = std::min(min_rem, flows_[id].remaining);
+    }
+    const double next_finish = now_ + min_rem / r;
+    // Drain by the exact minimum when a flow completes inside the window,
+    // so the completing flow retires with remaining == 0 regardless of
+    // rounding in the time conversion.
+    const bool completes = next_finish <= t;
+    const double stop = completes ? next_finish : t;
+    const double drained = completes ? min_rem : (t - now_) * r;
+    for (std::size_t i = 0; i < active_.size();) {
+      Flow& f = flows_[active_[i]];
+      f.remaining = std::max(0.0, f.remaining - drained);
+      if (completes && f.remaining <= 0.0) {
+        f.done = true;
+        f.finish = next_finish;
+        active_[i] = active_.back();
+        active_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    now_ = stop;
+  }
+  now_ = std::max(now_, t);
+}
+
+std::size_t FluidHostLink::admit(double t, std::uint64_t bytes) {
+  advance_to(std::max(t, now_));
+  Flow f;
+  f.remaining = static_cast<double>(bytes);
+  if (bytes == 0) {
+    f.done = true;
+    f.finish = now_;
+  }
+  flows_.push_back(f);
+  const std::size_t id = flows_.size() - 1;
+  if (!flows_[id].done) active_.push_back(id);
+  return id;
+}
+
+double FluidHostLink::completion(std::size_t id) const {
+  assert(id < flows_.size());
+  if (flows_[id].done) return flows_[id].finish;
+  // Project the in-flight set forward assuming no further admissions:
+  // repeatedly retire the earliest-finishing flow at the current shared
+  // rate until `id` retires.
+  std::vector<std::pair<std::size_t, double>> rem;
+  rem.reserve(active_.size());
+  for (std::size_t a : active_) rem.emplace_back(a, flows_[a].remaining);
+  double t = now_;
+  while (!rem.empty()) {
+    const double r = rate(rem.size());
+    auto min_it = rem.begin();
+    for (auto it = rem.begin(); it != rem.end(); ++it) {
+      if (it->second < min_it->second) min_it = it;
+    }
+    const double drained = min_it->second;
+    t += drained / r;
+    // Retire every flow that hits zero in this interval; report if ours.
+    bool found = false;
+    for (std::size_t i = 0; i < rem.size();) {
+      rem[i].second -= drained;
+      if (rem[i].second <= 0.0) {
+        if (rem[i].first == id) found = true;
+        rem[i] = rem.back();
+        rem.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (found) return t;
+  }
+  return t;
+}
+
+}  // namespace amped::sim

@@ -1,0 +1,68 @@
+// Fluid host-link contention model (processor sharing over the host
+// memory system).
+//
+// Host links are physically per-GPU but share the host's aggregate
+// bandwidth. The static model (PlatformConfig::host_aggregate_bandwidth /
+// num_gpus) prices every transfer as if all M GPUs always stream — which
+// is exactly wrong when overlap scheduling is working and only k < M
+// lanes stream over an interval. The fluid model divides bandwidth by the
+// number of *concurrently active* flows: over any interval with k flows
+// in flight, each progresses at
+//
+//     rate(k) = min(lane_bandwidth, aggregate_bandwidth / k)
+//
+// and a transfer's duration is the piecewise-constant integral of that
+// rate over its lifetime. With one lane streaming the whole time this
+// reduces to the uncontended link rate (the static share at M = 1); with
+// all M lanes saturated it reduces to the static per-GPU share, and total
+// bytes over total time equals the aggregate bandwidth (conservation) —
+// both properties pinned in tests/contention_model_test.cpp. The formula
+// and a worked 2-GPU example live in docs/SCHEDULING.md.
+//
+// Admissions must be presented in nondecreasing time order (admit clamps
+// to the link's current time); completions are recomputed lazily so a
+// later admission correctly slows flows still in flight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace amped::sim {
+
+class FluidHostLink {
+ public:
+  FluidHostLink(double lane_bandwidth, double aggregate_bandwidth)
+      : lane_bw_(lane_bandwidth), aggregate_bw_(aggregate_bandwidth) {}
+
+  // Per-flow rate when `active` flows share the link.
+  double rate(std::size_t active) const;
+
+  // Admits a flow of `bytes` at time max(t, now()) and returns its id.
+  // Integrates all in-flight flows forward to the admission time first.
+  std::size_t admit(double t, std::uint64_t bytes);
+
+  // Projected completion time of flow `id` given every admission made so
+  // far (exact once no further admission overlaps the flow's lifetime).
+  double completion(std::size_t id) const;
+
+  // Time the link state has been integrated to (latest admission).
+  double now() const { return now_; }
+  std::size_t active_flows() const { return active_.size(); }
+
+ private:
+  struct Flow {
+    double remaining = 0.0;  // bytes left at time now_
+    bool done = false;
+    double finish = 0.0;  // valid when done
+  };
+
+  void advance_to(double t);
+
+  double lane_bw_;
+  double aggregate_bw_;
+  double now_ = 0.0;
+  std::vector<Flow> flows_;
+  std::vector<std::size_t> active_;  // ids of in-flight flows
+};
+
+}  // namespace amped::sim

@@ -67,6 +67,19 @@ double Platform::h2d_seconds(std::uint64_t bytes) const {
                           fixed_cost_divisor());
 }
 
+double Platform::h2d_seconds(std::uint64_t bytes,
+                             int streaming_lanes) const {
+  if (streaming_lanes <= 0) return h2d_seconds(bytes);
+  LinkSpec link = config_.host_link;
+  const int lanes = std::min(streaming_lanes, config_.num_gpus);
+  if (lanes > 1 && config_.host_aggregate_bandwidth > 0.0) {
+    link.bandwidth =
+        std::min(link.bandwidth,
+                 config_.host_aggregate_bandwidth / static_cast<double>(lanes));
+  }
+  return transfer_seconds(link, bytes, fixed_cost_divisor());
+}
+
 double Platform::d2h_seconds(std::uint64_t bytes) const {
   return transfer_seconds(contended_host_link(config_), bytes,
                           fixed_cost_divisor());

@@ -67,6 +67,12 @@ class Platform {
 
   // Pure cost queries (no clock side effects).
   double h2d_seconds(std::uint64_t bytes) const;
+  // Fluid-contention variant: seconds for one H2D while `streaming_lanes`
+  // host links are concurrently active, at the processor-sharing rate
+  // min(lane bandwidth, aggregate / lanes) — see sim/fluid_link.hpp.
+  // streaming_lanes <= 0 (or >= num_gpus) reduces to the static all-lanes
+  // share the zero-argument overload prices.
+  double h2d_seconds(std::uint64_t bytes, int streaming_lanes) const;
   double d2h_seconds(std::uint64_t bytes) const;
   double p2p_seconds(std::uint64_t bytes) const;
   double kernel_launch_seconds() const;

@@ -1,0 +1,116 @@
+// Fluid host-link contention model (sim/fluid_link.hpp and the
+// lane-aware Platform::h2d_seconds overload): single-streamer reduction
+// to the uncontended lane rate, full-occupancy reduction to the legacy
+// static share, bandwidth conservation under full overlap, and the
+// staggered two-flow example worked through in docs/SCHEDULING.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/fluid_link.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/platform.hpp"
+
+namespace amped::sim {
+namespace {
+
+TEST(FluidHostLinkTest, RateReducesToLaneAndStaticShare) {
+  // Defaults of the paper platform: 50 GB/s lanes, 160 GB/s aggregate.
+  FluidHostLink link(50e9, 160e9);
+  EXPECT_DOUBLE_EQ(link.rate(1), 50e9);  // one lane: uncontended
+  EXPECT_DOUBLE_EQ(link.rate(2), 50e9);  // 160/2 = 80 > lane cap
+  EXPECT_DOUBLE_EQ(link.rate(3), 50e9);  // 160/3 = 53.3 > lane cap
+  EXPECT_DOUBLE_EQ(link.rate(4), 40e9);  // saturated: the static share
+}
+
+TEST(FluidHostLinkTest, ConservationUnderFullOverlap) {
+  // Four equal flows admitted together drain together, and total bytes
+  // over total time is exactly the aggregate bandwidth — the fluid model
+  // never creates or destroys link capacity.
+  FluidHostLink link(50e9, 160e9);
+  const std::uint64_t bytes = 1'000'000'000;
+  std::size_t ids[4];
+  for (auto& id : ids) id = link.admit(0.0, bytes);
+  double finish = 0.0;
+  for (std::size_t id : ids) finish = std::max(finish, link.completion(id));
+  const double expected = static_cast<double>(bytes) / 40e9;
+  EXPECT_NEAR(finish, expected, 1e-12);
+  EXPECT_NEAR(4.0 * static_cast<double>(bytes) / finish, 160e9, 1.0);
+  for (std::size_t id : ids) {
+    EXPECT_NEAR(link.completion(id), finish, 1e-12);
+  }
+}
+
+TEST(FluidHostLinkTest, StaggeredTwoFlowWorkedExample) {
+  // The 2-GPU example of docs/SCHEDULING.md: 50 GB/s lanes, 80 GB/s
+  // aggregate. Flow A (100 GB) starts at t=0; flow B (20 GB) at t=1.
+  //   [0, 1):    A alone at 50 GB/s       -> A has 50 GB left at t=1
+  //   [1, 1.5):  both at 80/2 = 40 GB/s   -> B's 20 GB done at t=1.5
+  //   [1.5, 2.1): A alone again at 50 GB/s -> 30 GB left takes 0.6 s
+  FluidHostLink link(50e9, 80e9);
+  const std::size_t a = link.admit(0.0, 100'000'000'000ull);
+  // Before B arrives the projection assumes A keeps the lane to itself.
+  EXPECT_NEAR(link.completion(a), 2.0, 1e-12);
+  const std::size_t b = link.admit(1.0, 20'000'000'000ull);
+  EXPECT_NEAR(link.completion(b), 1.5, 1e-12);
+  // The late admission retroactively slows the in-flight flow.
+  EXPECT_NEAR(link.completion(a), 2.1, 1e-12);
+}
+
+TEST(FluidHostLinkTest, AdmissionsClampToLinkTime) {
+  // Out-of-order presentation cannot rewind the link: an admission with
+  // an earlier timestamp starts at now().
+  FluidHostLink link(50e9, 80e9);
+  link.admit(2.0, 1'000'000'000);
+  const std::size_t late = link.admit(0.5, 1'000'000'000);
+  EXPECT_GE(link.completion(late), 2.0);
+  EXPECT_DOUBLE_EQ(link.now(), 2.0);
+}
+
+TEST(PlatformFluidTest, FullOccupancyEqualsLegacyStaticShare) {
+  PlatformConfig cfg;
+  cfg.num_gpus = 4;
+  Platform platform(cfg);
+  const std::uint64_t bytes = 100'000'000;
+  // All M lanes streaming is precisely the legacy static model; more
+  // claimed lanes than GPUs clamps.
+  EXPECT_DOUBLE_EQ(platform.h2d_seconds(bytes, 4),
+                   platform.h2d_seconds(bytes));
+  EXPECT_DOUBLE_EQ(platform.h2d_seconds(bytes, 9),
+                   platform.h2d_seconds(bytes));
+  // Non-positive lane counts are the explicit legacy spelling.
+  EXPECT_DOUBLE_EQ(platform.h2d_seconds(bytes, -1),
+                   platform.h2d_seconds(bytes));
+}
+
+TEST(PlatformFluidTest, SingleLaneRunsAtUncontendedRate) {
+  PlatformConfig cfg;
+  cfg.num_gpus = 4;
+  Platform platform(cfg);
+  const std::uint64_t bytes = 100'000'000;
+  EXPECT_DOUBLE_EQ(
+      platform.h2d_seconds(bytes, 1),
+      transfer_seconds(cfg.host_link, bytes, platform.fixed_cost_divisor()));
+  // One streamer is strictly cheaper than the saturated static price
+  // whenever the aggregate constraint binds at M lanes.
+  EXPECT_LT(platform.h2d_seconds(bytes, 1), platform.h2d_seconds(bytes));
+  // Monotone in contention.
+  EXPECT_LE(platform.h2d_seconds(bytes, 2), platform.h2d_seconds(bytes, 3));
+  EXPECT_LE(platform.h2d_seconds(bytes, 3), platform.h2d_seconds(bytes, 4));
+}
+
+TEST(PlatformFluidTest, NoAggregateLimitMeansNoContention) {
+  PlatformConfig cfg;
+  cfg.num_gpus = 4;
+  cfg.host_aggregate_bandwidth = 0.0;  // modelled as unlimited
+  Platform platform(cfg);
+  const std::uint64_t bytes = 100'000'000;
+  EXPECT_DOUBLE_EQ(platform.h2d_seconds(bytes, 3),
+                   platform.h2d_seconds(bytes, 1));
+  EXPECT_DOUBLE_EQ(platform.h2d_seconds(bytes),
+                   platform.h2d_seconds(bytes, 1));
+}
+
+}  // namespace
+}  // namespace amped::sim
